@@ -1,0 +1,154 @@
+package bento_test
+
+// Experiment benchmarks: one per table and figure in the paper's
+// evaluation, plus ablations. Each benchmark runs a scaled-down
+// configuration per iteration and reports its headline metric through
+// b.ReportMetric; cmd/benchharness regenerates the full tables.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/bench"
+)
+
+// BenchmarkTable1_WebsiteFingerprinting regenerates Table 1 (attack
+// accuracy vs defense) at reduced scale, reporting the unmodified-Tor and
+// Browser-padded accuracies.
+func BenchmarkTable1_WebsiteFingerprinting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable1(bench.Table1Config{
+			Sites:        10,
+			Visits:       4,
+			TrainPerSite: 2,
+			Paddings:     []int{0, 1 << 20},
+			Seed:         int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Accuracy*100, "none-acc-%")
+		b.ReportMetric(res.Rows[1].Accuracy*100, "pad0-acc-%")
+		b.ReportMetric(res.Rows[2].Accuracy*100, "pad1MB-acc-%")
+	}
+}
+
+// BenchmarkTable2_DownloadTimes regenerates Table 2 (page download times
+// under standard Tor and Browser at each padding level).
+func BenchmarkTable2_DownloadTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultTable2Config()
+		cfg.Trials = 1
+		res, err := bench.RunTable2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var std, pad0, pad7 float64
+		for _, row := range res.Rows {
+			std += row.StandardTor
+			pad0 += row.Browser[0]
+			pad7 += row.Browser[7<<20]
+		}
+		n := float64(len(res.Rows))
+		b.ReportMetric(std/n, "std-tor-s")
+		b.ReportMetric(pad0/n, "browser0-s")
+		b.ReportMetric(pad7/n, "browser7MB-s")
+	}
+}
+
+// BenchmarkFigure5_LoadBalancer regenerates Figure 5 (per-client download
+// speed with and without the hidden-service LoadBalancer).
+func BenchmarkFigure5_LoadBalancer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultFigure5Config()
+		cfg.Duration = 3 * time.Minute
+		res, err := bench.RunFigure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := func(runs []*bench.ClientRun) float64 {
+			var total float64
+			n := 0
+			for _, c := range runs {
+				if c.Err == "" {
+					total += c.MeanSpeedKBs()
+					n++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return total / float64(n)
+		}
+		b.ReportMetric(mean(res.WithoutLB), "noLB-KB/s")
+		b.ReportMetric(mean(res.WithLB), "LB-KB/s")
+		b.ReportMetric(float64(res.Replicas), "replicas")
+	}
+}
+
+// BenchmarkScalability_MemoryFootprint regenerates the §7.3 analysis:
+// function memory vs the usable enclave page cache.
+func BenchmarkScalability_MemoryFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunScalability(bench.DefaultScalabilityConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BrowserLiveBytes)/(1<<20), "browser-MB")
+		b.ReportMetric(float64(res.MeasuredCapacity), "fns-per-EPC")
+	}
+}
+
+// BenchmarkAblation_Padding sweeps the Browser padding knob (security vs
+// cost frontier).
+func BenchmarkAblation_Padding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunPaddingAblation(8, 4, []int{0, 512 * 1024}, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].Accuracy*100, "pad0-acc-%")
+		b.ReportMetric(res.Points[1].Accuracy*100, "pad512K-acc-%")
+	}
+}
+
+// BenchmarkAblation_Conclave measures the SGX/conclave overhead on
+// function setup and invocation.
+func BenchmarkAblation_Conclave(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunConclaveAblation(3, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PlainInvokeS*1000, "plain-ms")
+		b.ReportMetric(res.SGXInvokeS*1000, "sgx-ms")
+	}
+}
+
+// BenchmarkAblation_Shard Monte-Carlo evaluates erasure-coding choices
+// under node failure.
+func BenchmarkAblation_Shard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunShardAblation(200, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.K == 3 && p.N == 6 && p.FailureProb == 0.3 {
+				b.ReportMetric(p.SuccessRate*100, "3of6-p0.3-%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_Fairness measures token-bucket sharing fairness (the
+// substrate property behind Figure 5).
+func BenchmarkAblation_Fairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFairnessAblation([]int{4}, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].JainIndex, "jain")
+	}
+}

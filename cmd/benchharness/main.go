@@ -1,0 +1,139 @@
+// Command benchharness regenerates every table and figure from the
+// paper's evaluation, plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	benchharness -exp all            # quick versions of everything
+//	benchharness -exp table1 -full   # paper-scale Table 1 (slow)
+//	benchharness -exp figure5
+//
+// Experiments: table1, table2, figure5, scalability, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|scalability|ablations|all")
+	full := flag.Bool("full", false, "run paper-scale parameters (slow)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("table1", func() error {
+		cfg := bench.Table1Config{
+			Sites: 24, Visits: 6, TrainPerSite: 3,
+			Paddings: []int{0, 1 << 20, 7 << 20}, Seed: *seed,
+		}
+		if *full {
+			cfg = bench.DefaultTable1Config()
+			cfg.Seed = *seed
+		}
+		res, err := bench.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("table2", func() error {
+		cfg := bench.DefaultTable2Config()
+		cfg.Seed = *seed
+		if !*full {
+			cfg.Trials = 1
+		}
+		res, err := bench.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("figure5", func() error {
+		cfg := bench.DefaultFigure5Config()
+		cfg.Seed = *seed
+		cfg.Duration = 3 * time.Minute
+		if *full {
+			cfg.FileSize = 10 << 20 // the paper's 10 MB file
+			cfg.Duration = 20 * time.Minute
+			cfg.ClockScale = 0.01
+		}
+		res, err := bench.RunFigure5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("scalability", func() error {
+		res, err := bench.RunScalability(bench.DefaultScalabilityConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("ablations", func() error {
+		sites, visits := 8, 4
+		paddings := []int{0, 256 * 1024, 1 << 20}
+		trials := 200
+		if *full {
+			sites, visits = 20, 8
+			paddings = []int{0, 256 * 1024, 1 << 20, 2 << 20, 7 << 20}
+			trials = 1000
+		}
+		pad, err := bench.RunPaddingAblation(sites, visits, paddings, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(pad)
+		conclave, err := bench.RunConclaveAblation(5, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(conclave)
+		shard, err := bench.RunShardAblation(trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(shard)
+		fair, err := bench.RunFairnessAblation([]int{2, 4, 8, 13}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fair)
+		multi, err := bench.RunMultipathAblation([]int{1, 2, 4}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(multi)
+		cover, err := bench.RunCoverAblation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cover)
+		return nil
+	})
+}

@@ -1,0 +1,141 @@
+// Command bento-client deploys and invokes a Bento function against a
+// freshly booted deployment — either one of the built-in functions from
+// the paper or a user-provided bscript file.
+//
+// Usage:
+//
+//	bento-client -builtin browser -call browser -args '["site-000.web", 1048576]'
+//	bento-client -script myfn.bs -call main -args '[]' -sgx
+//	bento-client -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+var builtins = map[string]string{
+	"echo":    functions.EchoSource,
+	"browser": functions.BrowserSource,
+	"dropbox": functions.DropboxSource,
+	"cover":   functions.CoverSource,
+	"shard":   functions.ShardSource,
+}
+
+func main() {
+	builtin := flag.String("builtin", "", "built-in function: echo|browser|dropbox|cover|shard")
+	script := flag.String("script", "", "path to a bscript function file")
+	call := flag.String("call", "", "function to invoke after upload")
+	argsJSON := flag.String("args", "[]", "invocation arguments as a JSON array (strings, ints, bools)")
+	sgx := flag.Bool("sgx", false, "run in the python-op-sgx image (sealed upload)")
+	sites := flag.Int("sites", 3, "synthetic websites to serve (site-000.web …)")
+	list := flag.Bool("list", false, "list built-in functions and exit")
+	flag.Parse()
+
+	if *list {
+		for name := range builtins {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	source := builtins[*builtin]
+	if *script != "" {
+		b, err := os.ReadFile(*script)
+		if err != nil {
+			fail("reading script: %v", err)
+		}
+		source = string(b)
+	}
+	if source == "" {
+		fail("need -builtin or -script (try -list)")
+	}
+
+	w, err := testbed.New(testbed.Config{
+		Relays:     6,
+		BentoNodes: 2,
+		Sites:      webfarm.GenerateSites(*sites, 42),
+		ClockScale: 0.005,
+	})
+	if err != nil {
+		fail("boot: %v", err)
+	}
+	defer w.Close()
+
+	cli := w.NewBentoClient("user", 1)
+	node, err := cli.PickNode()
+	if err != nil {
+		fail("node discovery: %v", err)
+	}
+	fmt.Printf("using Bento node %s (of %d advertised)\n", node.Nickname, len(cli.Nodes()))
+
+	conn, err := cli.Connect(node)
+	if err != nil {
+		fail("connect: %v", err)
+	}
+	defer conn.Close()
+
+	image := "python"
+	if *sgx {
+		image = "python-op-sgx"
+	}
+	fn, err := functions.Deploy(conn, functions.DefaultManifest("cli-function", image), source)
+	if err != nil {
+		fail("deploy: %v", err)
+	}
+	defer fn.Shutdown()
+	fmt.Printf("deployed (%s image); invoke token %s…\n", image, fn.InvokeToken()[:8])
+
+	if *call == "" {
+		fmt.Println("no -call given; function uploaded and left running")
+		return
+	}
+	args, err := parseArgs(*argsJSON)
+	if err != nil {
+		fail("parsing -args: %v", err)
+	}
+	out, result, err := fn.Invoke(*call, args...)
+	if err != nil {
+		fail("invoke: %v", err)
+	}
+	fmt.Printf("result: %s\n", interp.Repr(result))
+	fmt.Printf("output: %d bytes\n", len(out))
+	if len(out) > 0 && len(out) <= 512 {
+		fmt.Printf("%q\n", out)
+	}
+}
+
+func parseArgs(s string) ([]interp.Value, error) {
+	var raw []any
+	if err := json.Unmarshal([]byte(s), &raw); err != nil {
+		return nil, err
+	}
+	out := make([]interp.Value, 0, len(raw))
+	for _, v := range raw {
+		switch x := v.(type) {
+		case string:
+			out = append(out, interp.Str(x))
+		case float64:
+			out = append(out, interp.Int(int64(x)))
+		case bool:
+			out = append(out, interp.Bool(x))
+		case nil:
+			out = append(out, interp.None)
+		default:
+			return nil, fmt.Errorf("unsupported argument %v", v)
+		}
+	}
+	return out, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bento-client: "+format+"\n", args...)
+	os.Exit(1)
+}

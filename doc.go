@@ -1,0 +1,12 @@
+// Package bento is a from-scratch Go reproduction of "Bento: Safely
+// Bringing Network Function Virtualization to Tor" (SIGCOMM 2021): a
+// programmable-middlebox architecture for anonymity networks, built on an
+// emulated Tor overlay, a sandboxed function runtime, and a simulated
+// trusted-execution substrate.
+//
+// The root package is documentation-only; see the packages under
+// internal/ (the library), the runnable programs under cmd/ and
+// examples/, and bench_test.go for the experiment benchmarks. DESIGN.md
+// maps every subsystem and experiment; EXPERIMENTS.md records
+// paper-versus-measured results.
+package bento

@@ -1,0 +1,107 @@
+// Geographical avoidance (§9.4): with link delays derived from host
+// positions, a client routes around a forbidden region and uses the
+// measured round-trip time to *prove* (by a speed-of-light argument) that
+// its packets could not have entered it.
+//
+//	go run ./examples/geo_avoidance
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/geo"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+func main() {
+	site := webfarm.NamedSite("destination.web", 1000, nil)
+	world, err := testbed.New(testbed.Config{
+		Relays:     6,
+		Sites:      []*webfarm.Site{site},
+		ClockScale: 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+	clock := world.Clock()
+
+	// Geography (km): client west, destination east, relays along a
+	// northern corridor; the forbidden region lies to the south.
+	ps := geo.NewPositions()
+	ps.Set("client", geo.Point{X: 0, Y: 0})
+	ps.Set("destination.web", geo.Point{X: 90_000, Y: 0})
+	relayPos := []geo.Point{
+		{X: 15_000, Y: 12_000}, {X: 30_000, Y: 13_000}, {X: 45_000, Y: 12_500},
+		{X: 60_000, Y: 13_000}, {X: 75_000, Y: 12_000}, {X: 45_000, Y: -60_000},
+	}
+	hosts := []string{"client", "destination.web"}
+	for i, d := range world.Consensus.Relays {
+		h := d.Address[:len(d.Address)-5] // strip ":9001"
+		hosts = append(hosts, h)
+		ps.Set(h, relayPos[i])
+	}
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			d, _ := ps.Delay(hosts[i], hosts[j])
+			world.Net.SetDelay(hosts[i], hosts[j], d)
+		}
+	}
+	forbidden := geo.Region{Center: geo.Point{X: 45_000, Y: -75_000}, Radius: 12_000}
+	fmt.Printf("forbidden region: disk of radius %.0f km around (%.0f, %.0f)\n",
+		forbidden.Radius, forbidden.Center.X, forbidden.Center.Y)
+
+	// Route through the northern corridor.
+	pick := func(n string) *dirauth.Descriptor { return world.Consensus.Relay(n) }
+	path := []*dirauth.Descriptor{pick("relay0"), pick("relay2"), pick("relay4")}
+	cli := world.NewTorClient("client", 3)
+	circ, err := cli.BuildCircuit(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer circ.Close()
+
+	// Warm the stream, then time one request round trip.
+	s, err := circ.OpenStream("destination.web:80")
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := []byte("GET / HTTP/1.0\r\nHost: destination.web\r\n\r\n")
+	buf := make([]byte, 1024)
+	s.Write(req)
+	io.ReadAtLeast(s, buf, 1)
+	// Drain the rest of the first response before timing the second.
+	s.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	io.Copy(io.Discard, s)
+	s.SetReadDeadline(time.Time{})
+	start := clock.Now()
+	s.Write(req)
+	if _, err := io.ReadAtLeast(s, buf, 1); err != nil {
+		log.Fatal(err)
+	}
+	measured := clock.Now() - start
+	s.Close()
+
+	hops := []string{"client", "relay0", "relay2", "relay4", "destination.web"}
+	positions, err := ps.PathPositions(hops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proof, err := geo.ProveAvoidance(positions, forbidden, measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("path: %v\n", hops)
+	fmt.Printf("measured round trip:       %v\n", proof.MeasuredRTT)
+	fmt.Printf("minimum detour round trip: %v\n", proof.MinDetourRTT)
+	if proof.Avoided {
+		fmt.Println("PROVEN: packets could not have entered the forbidden region")
+	} else {
+		fmt.Println("no proof: the RTT leaves room for a detour")
+	}
+}

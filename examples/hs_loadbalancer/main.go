@@ -1,0 +1,99 @@
+// Hidden-service load balancing (§8 / Figure 5): the LoadBalancer
+// function owns a service's introduction points and delegates each
+// rendezvous to the least-loaded replica, spinning replicas up (with a
+// copy of the service identity and content) when all are at the high
+// watermark.
+//
+//	go run ./examples/hs_loadbalancer
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/hs"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/testbed"
+)
+
+func main() {
+	world, err := testbed.New(testbed.Config{
+		Relays:      9,
+		BentoNodes:  3,
+		ClockScale:  0.02,
+		BentoEgress: 400 * 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+	clock := world.Clock()
+
+	ident, err := hs.NewIdentity()
+	if err != nil {
+		log.Fatal(err)
+	}
+	identBlob, _ := ident.Marshal()
+	content := make([]byte, 1<<20)
+
+	owner := world.NewBentoClient("owner", 21)
+	conn, err := owner.Connect(world.BentoNode(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	lb, err := functions.Deploy(conn,
+		functions.DefaultManifest("loadbalancer", "python"),
+		functions.LoadBalancerSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lb.Shutdown()
+
+	nodes := &interp.List{}
+	for i := 0; i < 3; i++ {
+		nodes.Elems = append(nodes.Elems, interp.Str(world.BentoNode(i).Nickname))
+	}
+	go lb.InvokeStream("run", []interp.Value{
+		interp.Bytes(identBlob), interp.Bytes(content), nodes,
+		interp.Str(functions.ReplicaSource),
+		interp.Int(2), interp.Int(3), interp.Int(120_000),
+	}, nil)
+
+	// Wait for the descriptor, then send in six clients ~1s apart.
+	probe := world.NewTorClient("probe", 22)
+	for {
+		if _, err := hs.FetchDescriptor(probe.Host(), probe.Consensus(), ident.ServiceID()); err == nil {
+			break
+		}
+		clock.Sleep(500 * time.Millisecond)
+	}
+	fmt.Printf("hidden service %s… is up behind the LoadBalancer\n", ident.ServiceID()[:16])
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 6; i++ {
+		clock.Sleep(time.Second)
+		cli := world.NewTorClient(fmt.Sprintf("client%d", i), int64(30+i))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := clock.Now()
+			c, err := hs.Dial(cli, ident.ServiceID())
+			if err != nil {
+				fmt.Printf("client %d: %v\n", i, err)
+				return
+			}
+			defer c.Close()
+			n, _ := io.Copy(io.Discard, c)
+			d := (clock.Now() - t0).Seconds()
+			fmt.Printf("client %d: %d bytes in %.1f virtual seconds (%.0f KB/s)\n",
+				i, n, d, float64(n)/1024/d)
+		}(i)
+	}
+	wg.Wait()
+	fmt.Println("all clients served; replicas were spun up on demand")
+}

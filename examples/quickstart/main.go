@@ -1,0 +1,80 @@
+// Quickstart: boot a small Bento deployment, discover a middlebox node
+// through the Tor directory, negotiate its policy, upload a function, and
+// invoke it over a Tor circuit.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/policy"
+	"github.com/bento-nfv/bento/internal/testbed"
+)
+
+func main() {
+	// A deployment: 6 relays, 2 of which run Bento servers.
+	world, err := testbed.New(testbed.Config{Relays: 6, BentoNodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+
+	// Alice's Bento client rides on her onion proxy; everything below
+	// happens over Tor circuits.
+	alice := world.NewBentoClient("alice", 1)
+
+	// 1. Discover Bento nodes via the directory consensus, filtered by
+	//    the API calls our function needs.
+	nodes := alice.Nodes("fs.write", "tor.send")
+	fmt.Printf("found %d Bento nodes advertising fs.write and tor.send\n", len(nodes))
+
+	// 2. Connect to one (a circuit exiting at that relay, then localhost).
+	conn, err := alice.Connect(nodes[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	// 3. Check the node's middlebox policy before asking for anything.
+	pol, err := conn.Policy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node %s permits %d API calls, max %d containers\n",
+		nodes[0].Nickname, len(pol.Calls), pol.MaxContainers)
+
+	// 4. Spawn a container with a least-privilege manifest and upload a
+	//    function.
+	man := &policy.Manifest{
+		Name:         "greeter",
+		Image:        "python",
+		Calls:        []string{"tor.send"},
+		Memory:       4 << 20,
+		Instructions: 100_000,
+		Storage:      1 << 20,
+	}
+	fn, err := functions.Deploy(conn, man, `
+def greet(name):
+    api.send(b"hello, " + bytes(name) + b"! -- from a Tor middlebox")
+    return True
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fn.Shutdown()
+
+	// 5. Invoke it.
+	out, _, err := fn.Invoke("greet", interp.Str("alice"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("function says: %s\n", out)
+
+	// 6. The invocation token is shareable; the shutdown token is not.
+	fmt.Printf("invoke token (shareable): %s…\n", fn.InvokeToken()[:8])
+	fmt.Println("done")
+}

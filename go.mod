@@ -1,0 +1,3 @@
+module github.com/bento-nfv/bento
+
+go 1.22

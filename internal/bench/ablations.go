@@ -1,0 +1,406 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/fountain"
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/simnet"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+	"github.com/bento-nfv/bento/internal/wf"
+)
+
+// --- Ablation: padding level (security/performance frontier) -----------------
+
+// PaddingPoint is one padding level's security and cost.
+type PaddingPoint struct {
+	Padding   int
+	Accuracy  float64 // WF attack accuracy (lower = safer)
+	Downloads float64 // median download time in virtual seconds
+}
+
+// PaddingAblation sweeps Browser's padding knob, crossing Table 1's
+// security axis with Table 2's cost axis — the trade the anonymity
+// trilemma prices.
+type PaddingAblation struct {
+	Points []PaddingPoint
+}
+
+// String renders the frontier.
+func (r *PaddingAblation) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: padding level — attack accuracy vs download cost\n")
+	b.WriteString("padding     accuracy   median download (s)\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10s  %7.1f%%  %10.2f\n", humanBytes(p.Padding), p.Accuracy*100, p.Downloads)
+	}
+	return b.String()
+}
+
+// RunPaddingAblation sweeps paddings over a small closed world.
+func RunPaddingAblation(sites, visits int, paddings []int, seed int64) (*PaddingAblation, error) {
+	cfg := Table1Config{
+		Sites:        sites,
+		Visits:       visits,
+		TrainPerSite: visits / 2,
+		Seed:         seed,
+	}
+	siteList := table1Sites(sites)
+	out := &PaddingAblation{}
+	for _, padding := range paddings {
+		traces, err := collectTraces(siteList, cfg, padding)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := wf.EvaluateClosedWorld(wf.NewKNN(3), traces, cfg.TrainPerSite, 100)
+		if err != nil {
+			return nil, err
+		}
+		// Median download duration from the captured traces.
+		var durations []float64
+		for _, ts := range traces {
+			for _, tr := range ts {
+				if len(tr.Events) > 1 {
+					d := tr.Events[len(tr.Events)-1].At - tr.Events[0].At
+					durations = append(durations, d.Seconds())
+				}
+			}
+		}
+		med, err := medianOf(1, func() (float64, error) { return medianFloat(durations), nil })
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, PaddingPoint{Padding: padding, Accuracy: acc, Downloads: med})
+	}
+	return out, nil
+}
+
+func medianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+// --- Ablation: conclave overhead ----------------------------------------------
+
+// ConclaveAblation compares function invocation through the plain Python
+// container against the Python-OP-SGX conclave (§7.3 claims the overhead
+// is nominal relative to Tor's own latency).
+type ConclaveAblation struct {
+	PlainSetupS  float64 // spawn+upload, virtual seconds
+	SGXSetupS    float64
+	PlainInvokeS float64 // median invoke round trip
+	SGXInvokeS   float64
+	Invocations  int
+}
+
+// String renders the comparison.
+func (r *ConclaveAblation) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: conclave overhead (python vs python-op-sgx)\n")
+	fmt.Fprintf(&b, "setup (spawn+attest+upload):  plain %6.3fs   sgx %6.3fs  (+%.0f%%)\n",
+		r.PlainSetupS, r.SGXSetupS, 100*(r.SGXSetupS-r.PlainSetupS)/nonzero(r.PlainSetupS))
+	fmt.Fprintf(&b, "invoke round trip (median):   plain %6.3fs   sgx %6.3fs  (+%.0f%%)\n",
+		r.PlainInvokeS, r.SGXInvokeS, 100*(r.SGXInvokeS-r.PlainInvokeS)/nonzero(r.PlainInvokeS))
+	return b.String()
+}
+
+func nonzero(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+// RunConclaveAblation measures setup and invoke latency for both images.
+func RunConclaveAblation(invocations int, seed int64) (*ConclaveAblation, error) {
+	if invocations < 1 {
+		invocations = 5
+	}
+	w, err := testbed.New(testbed.Config{Relays: 5, BentoNodes: 1, ClockScale: 0.02})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	clock := w.Clock()
+	cli := w.NewBentoClient("alice", seed)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	res := &ConclaveAblation{Invocations: invocations}
+	for _, image := range []string{"python", "python-op-sgx"} {
+		man := functions.DefaultManifest("echo", image)
+		start := clock.Now()
+		fn, err := functions.Deploy(conn, man, functions.EchoSource)
+		if err != nil {
+			return nil, err
+		}
+		setup := (clock.Now() - start).Seconds()
+
+		var times []float64
+		for i := 0; i < invocations; i++ {
+			t0 := clock.Now()
+			if _, _, err := fn.Invoke("echo", interp.Bytes("ping")); err != nil {
+				return nil, err
+			}
+			times = append(times, (clock.Now() - t0).Seconds())
+		}
+		med := medianFloat(times)
+		fn.Shutdown()
+		if image == "python" {
+			res.PlainSetupS, res.PlainInvokeS = setup, med
+		} else {
+			res.SGXSetupS, res.SGXInvokeS = setup, med
+		}
+	}
+	return res, nil
+}
+
+// --- Ablation: Shard (k, N) vs node failure -----------------------------------
+
+// ShardPoint is one (k, n, failure-probability) cell.
+type ShardPoint struct {
+	K, N        int
+	FailureProb float64
+	SuccessRate float64
+	Overhead    float64 // storage expansion factor n/k
+}
+
+// ShardAblation sweeps erasure-coding parameters against node failures
+// (§9.3's availability argument).
+type ShardAblation struct {
+	Points []ShardPoint
+}
+
+// String renders the sweep.
+func (r *ShardAblation) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: Shard (k,N) vs node failure probability\n")
+	b.WriteString("  k   N  overhead  p(fail)   reconstruction success\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%3d %3d  %7.2fx  %7.2f  %9.1f%%\n", p.K, p.N, p.Overhead, p.FailureProb, p.SuccessRate*100)
+	}
+	return b.String()
+}
+
+// RunShardAblation Monte-Carlo simulates shard loss and reconstruction.
+func RunShardAblation(trials int, seed int64) (*ShardAblation, error) {
+	if trials < 1 {
+		trials = 200
+	}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, 4096)
+	rng.Read(data)
+	params := []struct{ k, n int }{{1, 3}, {2, 4}, {3, 6}, {4, 8}, {5, 6}}
+	probs := []float64{0.1, 0.3, 0.5}
+
+	out := &ShardAblation{}
+	for _, pr := range params {
+		shards, err := fountain.Encode(data, pr.k, pr.n, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range probs {
+			success := 0
+			for t := 0; t < trials; t++ {
+				var surviving []*fountain.Shard
+				for _, s := range shards {
+					if rng.Float64() >= p {
+						surviving = append(surviving, s)
+					}
+				}
+				if got, err := fountain.Decode(surviving); err == nil && len(got) == len(data) {
+					success++
+				}
+			}
+			out.Points = append(out.Points, ShardPoint{
+				K: pr.k, N: pr.n, FailureProb: p,
+				SuccessRate: float64(success) / float64(trials),
+				Overhead:    float64(pr.n) / float64(pr.k),
+			})
+		}
+	}
+	return out, nil
+}
+
+// --- Ablation: bandwidth fairness ----------------------------------------------
+
+// FairnessPoint is one concurrency level's sharing quality.
+type FairnessPoint struct {
+	Clients       int
+	JainIndex     float64
+	AggregateKBps float64
+}
+
+// FairnessAblation verifies the token-bucket substrate shares a server
+// uplink fairly — the property Figure 5's curves are built on.
+type FairnessAblation struct {
+	Points []FairnessPoint
+}
+
+// String renders the sweep.
+func (r *FairnessAblation) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: uplink sharing fairness (Jain index; 1.0 = perfectly fair)\n")
+	b.WriteString("clients   Jain    aggregate KB/s\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%7d  %6.3f  %12.1f\n", p.Clients, p.JainIndex, p.AggregateKBps)
+	}
+	return b.String()
+}
+
+// RunFairnessAblation downloads concurrently from one rate-limited host
+// at several concurrency levels.
+func RunFairnessAblation(levels []int, seed int64) (*FairnessAblation, error) {
+	if len(levels) == 0 {
+		levels = []int{2, 4, 8}
+	}
+	const rate = 200 * 1024.0
+	const fileSize = 512 * 1024
+	out := &FairnessAblation{}
+	for _, n := range levels {
+		clock := simnet.NewClock(0.005)
+		net := simnet.NewNetwork(clock, time.Millisecond)
+		server := net.AddHost("server", rate)
+		ln, err := server.Listen(80)
+		if err != nil {
+			return nil, err
+		}
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer c.Close()
+					c.Write(make([]byte, fileSize))
+				}()
+			}
+		}()
+
+		speeds := make([]float64, n)
+		start := clock.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			h := net.AddHost(fmt.Sprintf("c%d", i), 0)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				t0 := clock.Now()
+				conn, err := h.Dial("server:80")
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, conn)
+				speeds[i] = fileSize / 1024 / (clock.Now() - t0).Seconds()
+			}(i)
+		}
+		wg.Wait()
+		elapsed := (clock.Now() - start).Seconds()
+		ln.Close()
+
+		var sum, sumSq float64
+		for _, s := range speeds {
+			sum += s
+			sumSq += s * s
+		}
+		jain := 0.0
+		if sumSq > 0 {
+			jain = sum * sum / (float64(n) * sumSq)
+		}
+		out.Points = append(out.Points, FairnessPoint{
+			Clients:       n,
+			JainIndex:     jain,
+			AggregateKBps: float64(n*fileSize) / 1024 / elapsed,
+		})
+	}
+	return out, nil
+}
+
+// --- Ablation: multipath downloads (§9.4 extension) ----------------------------
+
+// MultipathPoint is one path-count's download performance.
+type MultipathPoint struct {
+	Paths   int
+	Seconds float64
+	Speedup float64 // vs single path
+}
+
+// MultipathAblation measures the §9.4 multipath-routing extension: slice
+// downloads over disjoint circuits through bandwidth-limited relays.
+type MultipathAblation struct {
+	PageBytes int
+	Points    []MultipathPoint
+}
+
+// String renders the sweep.
+func (r *MultipathAblation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: multipath downloads (%d-byte page, capped relays)\n", r.PageBytes)
+	b.WriteString("paths   time (s)   speedup\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%5d  %9.2f  %7.2fx\n", p.Paths, p.Seconds, p.Speedup)
+	}
+	return b.String()
+}
+
+// RunMultipathAblation downloads the same page over 1, 2, and 4 paths.
+func RunMultipathAblation(levels []int, seed int64) (*MultipathAblation, error) {
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4}
+	}
+	site := webfarm.NamedSite("big.web", 50_000, []int{400_000, 300_000, 250_000})
+	out := &MultipathAblation{PageBytes: site.TotalSize()}
+	var baseline float64
+	for _, paths := range levels {
+		w, err := testbed.New(testbed.Config{
+			Relays:      10,
+			BentoNodes:  4,
+			Sites:       []*webfarm.Site{site},
+			ClockScale:  0.02,
+			RelayEgress: 200 * 1024,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cli := w.NewBentoClient("downloader", seed)
+		clock := w.Clock()
+		start := clock.Now()
+		res, err := functions.MultipathFetch(cli, cli.Nodes(), "big.web", paths)
+		elapsed := (clock.Now() - start).Seconds()
+		w.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Data) != site.TotalSize() {
+			return nil, fmt.Errorf("bench: multipath returned %d bytes", len(res.Data))
+		}
+		if baseline == 0 {
+			baseline = elapsed
+		}
+		out.Points = append(out.Points, MultipathPoint{
+			Paths:   paths,
+			Seconds: elapsed,
+			Speedup: baseline / elapsed,
+		})
+	}
+	return out, nil
+}

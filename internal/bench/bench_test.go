@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// The experiment tests run scaled-down configurations and assert the
+// paper's qualitative shapes; cmd/benchharness runs the full parameters.
+
+func TestTable1Shape(t *testing.T) {
+	res, err := RunTable1(Table1Config{
+		Sites:        10,
+		Visits:       4,
+		TrainPerSite: 2,
+		Paddings:     []int{0, 1 << 20},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	none, pad0, pad1 := res.Rows[0].Accuracy, res.Rows[1].Accuracy, res.Rows[2].Accuracy
+	// The paper's ordering: unmodified ≫ Browser 0MB ≫ Browser 1MB.
+	if !(none > pad0 && pad0 > pad1) {
+		t.Fatalf("defense ordering violated: none=%.2f 0MB=%.2f 1MB=%.2f", none, pad0, pad1)
+	}
+	if none < 0.9 {
+		t.Fatalf("unmodified-Tor accuracy %.2f, want ≥0.9", none)
+	}
+	if pad1 > 0.45 {
+		t.Fatalf("1MB-padding accuracy %.2f, want near guess rate", pad1)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing shapes are distorted by the race detector's slowdown")
+	}
+	cfg := DefaultTable2Config()
+	cfg.Trials = 1
+	res, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d domains", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Padding cost is monotone: 7MB > 1MB > standard-comparable 0MB.
+		if !(row.Browser[7<<20] > row.Browser[1<<20] && row.Browser[1<<20] > row.Browser[0]) {
+			t.Errorf("%s: padding cost not monotone: %v", row.Domain, row.Browser)
+		}
+		// Browser 0MB is comparable to standard Tor (within 2x).
+		if row.Browser[0] > 2*row.StandardTor {
+			t.Errorf("%s: Browser 0MB %.1fs vs standard %.1fs — not comparable",
+				row.Domain, row.Browser[0], row.StandardTor)
+		}
+		// 7MB padding dominates everything (the paper's 80-90s row).
+		if row.Browser[7<<20] < 5*row.StandardTor {
+			t.Errorf("%s: 7MB padding suspiciously cheap", row.Domain)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing shapes are distorted by the race detector's slowdown")
+	}
+	// The default (paper-shaped) configuration: below it, replica spawn
+	// time dominates transfer time and the balancer cannot pay for
+	// itself — itself a finding the padding of Figure 5's parameters
+	// reflects.
+	cfg := DefaultFigure5Config()
+	cfg.Duration = 3 * time.Minute
+	res, err := RunFigure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if res.Replicas < 2 {
+		t.Fatalf("balancer spun up %d replicas, want ≥2", res.Replicas)
+	}
+	mean := func(runs []*ClientRun) float64 {
+		var total float64
+		n := 0
+		for _, c := range runs {
+			if c.Err == "" {
+				total += c.MeanSpeedKBs()
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return total / float64(n)
+	}
+	for _, c := range append(append([]*ClientRun{}, res.WithoutLB...), res.WithLB...) {
+		if c.Err != "" {
+			t.Fatalf("client %d failed: %s", c.ID, c.Err)
+		}
+	}
+	without, with := mean(res.WithoutLB), mean(res.WithLB)
+	if with <= without {
+		t.Fatalf("LoadBalancer did not help: %.1f KB/s with vs %.1f without", with, without)
+	}
+}
+
+func TestScalabilityShape(t *testing.T) {
+	res, err := RunScalability(DefaultScalabilityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if res.MeasuredCapacity < 2 {
+		t.Fatalf("measured capacity %d, want ≥2", res.MeasuredCapacity)
+	}
+	if res.MeasuredCapacity != res.PredictedCapacity {
+		t.Fatalf("predicted %d != measured %d", res.PredictedCapacity, res.MeasuredCapacity)
+	}
+	if res.BrowserLiveBytes <= 0 {
+		t.Fatal("no Browser memory measured")
+	}
+}
+
+func TestShardAblationShape(t *testing.T) {
+	res, err := RunShardAblation(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	rates := map[[2]int]map[float64]float64{}
+	for _, p := range res.Points {
+		k := [2]int{p.K, p.N}
+		if rates[k] == nil {
+			rates[k] = map[float64]float64{}
+		}
+		rates[k][p.FailureProb] = p.SuccessRate
+	}
+	// Replication (1-of-3) tolerates failures well; 5-of-6 collapses.
+	if rates[[2]int{1, 3}][0.1] < 0.95 {
+		t.Fatalf("1-of-3 at p=0.1: %.2f", rates[[2]int{1, 3}][0.1])
+	}
+	if rates[[2]int{5, 6}][0.5] > 0.3 {
+		t.Fatalf("5-of-6 at p=0.5: %.2f", rates[[2]int{5, 6}][0.5])
+	}
+	// Success degrades monotonically with failure probability.
+	for k, m := range rates {
+		if !(m[0.1] >= m[0.3] && m[0.3] >= m[0.5]) {
+			t.Errorf("%v: success not monotone in failure prob: %v", k, m)
+		}
+	}
+}
+
+func TestFairnessAblationShape(t *testing.T) {
+	res, err := RunFairnessAblation([]int{2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	for _, p := range res.Points {
+		if p.JainIndex < 0.8 {
+			t.Fatalf("Jain index %.3f for %d clients, want ≥0.8", p.JainIndex, p.Clients)
+		}
+	}
+}
+
+func TestConclaveAblationShape(t *testing.T) {
+	res, err := RunConclaveAblation(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	// §7.3: conclave overhead is nominal — well under Tor's own latency.
+	if res.SGXInvokeS > 3*res.PlainInvokeS {
+		t.Fatalf("conclave invoke overhead not nominal: %.3fs vs %.3fs",
+			res.SGXInvokeS, res.PlainInvokeS)
+	}
+}
+
+func TestPaddingAblationShape(t *testing.T) {
+	res, err := RunPaddingAblation(8, 4, []int{0, 512 * 1024}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	if res.Points[1].Accuracy > res.Points[0].Accuracy {
+		t.Fatalf("more padding increased accuracy: %+v", res.Points)
+	}
+	if res.Points[1].Downloads < res.Points[0].Downloads {
+		t.Fatalf("more padding decreased download time: %+v", res.Points)
+	}
+}
+
+func TestTable1ConfigValidation(t *testing.T) {
+	bad := []Table1Config{
+		{Sites: 1, Visits: 4, TrainPerSite: 2},
+		{Sites: 5, Visits: 1, TrainPerSite: 2},
+		{Sites: 5, Visits: 4, TrainPerSite: 4},
+	}
+	for _, cfg := range bad {
+		if _, err := RunTable1(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestMultipathAblationShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing shapes are distorted by the race detector's slowdown")
+	}
+	res, err := RunMultipathAblation([]int{1, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	// Three paths through capped relays beat one.
+	if res.Points[1].Speedup < 1.2 {
+		t.Fatalf("multipath speedup only %.2fx", res.Points[1].Speedup)
+	}
+}
+
+func TestCoverAblationShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing shapes are distorted by the race detector's slowdown")
+	}
+	res, err := RunCoverAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	// Cover traffic fills the link (high duty cycle) and is more regular
+	// than bursty browsing.
+	if res.CoverDuty <= res.BrowseDuty {
+		t.Fatalf("cover duty %.2f not above browse duty %.2f", res.CoverDuty, res.BrowseDuty)
+	}
+	if res.CoverCoV >= res.BrowseCoV {
+		t.Fatalf("cover CoV %.2f not below browse CoV %.2f", res.CoverCoV, res.BrowseCoV)
+	}
+}

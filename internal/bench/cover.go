@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+	"github.com/bento-nfv/bento/internal/wf"
+)
+
+// CoverAblation measures what a link observer sees with and without the
+// Cover function (§9.1): cover traffic should raise the link's duty cycle
+// toward 1 and flatten the per-interval byte-count variation that
+// circuit- and website-fingerprinting attacks feed on.
+type CoverAblation struct {
+	// DutyCycle is the fraction of intervals with any inbound traffic.
+	BrowseDuty float64
+	CoverDuty  float64
+	// CoV is the coefficient of variation of inbound bytes per interval.
+	BrowseCoV float64
+	CoverCoV  float64
+	Interval  time.Duration
+}
+
+// String renders the comparison.
+func (r *CoverAblation) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: Cover traffic — link regularity (per-" +
+		r.Interval.String() + " inbound intervals)\n")
+	fmt.Fprintf(&b, "condition        duty cycle   CoV of bytes/interval\n")
+	fmt.Fprintf(&b, "browse only      %10.2f   %10.2f\n", r.BrowseDuty, r.BrowseCoV)
+	fmt.Fprintf(&b, "cover traffic    %10.2f   %10.2f\n", r.CoverDuty, r.CoverCoV)
+	return b.String()
+}
+
+// RunCoverAblation records the client–guard link during (a) a bursty
+// sequence of page fetches and (b) the Cover function streaming at a
+// fixed rate, then compares regularity.
+func RunCoverAblation(seed int64) (*CoverAblation, error) {
+	site := webfarm.NamedSite("bursty.web", 20_000, []int{60_000, 40_000})
+	w, err := testbed.New(testbed.Config{
+		Relays:     6,
+		BentoNodes: 1,
+		Sites:      []*webfarm.Site{site},
+		ClockScale: 0.02,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	clock := w.Clock()
+
+	cli := w.NewBentoClient("observer-victim", seed)
+	var collector wf.Collector
+	cli.Tor.SetTrafficTap(collector.Tap())
+	const interval = 200 * time.Millisecond
+
+	// Condition A: bursty browsing with idle gaps.
+	collector.Reset()
+	for i := 0; i < 3; i++ {
+		if err := visitDirect(cli, site.Domain); err != nil {
+			return nil, err
+		}
+		clock.Sleep(2 * time.Second) // idle gap between page loads
+	}
+	browseDuty, browseCoV := linkRegularity(collector.Snapshot(), interval)
+
+	// Condition B: the Cover function streaming at a fixed rate.
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	fn, err := functions.Deploy(conn, functions.DefaultManifest("cover", "python"), functions.CoverSource)
+	if err != nil {
+		return nil, err
+	}
+	defer fn.Shutdown()
+	collector.Reset()
+	if _, err := fn.InvokeStream("cover",
+		[]interp.Value{interp.Int(10_000), interp.Int(200), interp.Int(498)}, nil); err != nil {
+		return nil, err
+	}
+	coverDuty, coverCoV := linkRegularity(collector.Snapshot(), interval)
+
+	return &CoverAblation{
+		BrowseDuty: browseDuty,
+		CoverDuty:  coverDuty,
+		BrowseCoV:  browseCoV,
+		CoverCoV:   coverCoV,
+		Interval:   interval,
+	}, nil
+}
+
+// linkRegularity bins inbound bytes into intervals across the trace's
+// active window and returns (duty cycle, coefficient of variation).
+func linkRegularity(tr *wf.Trace, interval time.Duration) (float64, float64) {
+	var first, last time.Duration
+	seen := false
+	for _, e := range tr.Events {
+		if e.Dir >= 0 {
+			continue
+		}
+		if !seen || e.At < first {
+			first = e.At
+		}
+		if e.At > last {
+			last = e.At
+		}
+		seen = true
+	}
+	if !seen || last <= first {
+		return 0, 0
+	}
+	nbins := int((last-first)/interval) + 1
+	bins := make([]float64, nbins)
+	for _, e := range tr.Events {
+		if e.Dir < 0 {
+			bins[int((e.At-first)/interval)] += float64(e.Size)
+		}
+	}
+	var sum, active float64
+	for _, b := range bins {
+		sum += b
+		if b > 0 {
+			active++
+		}
+	}
+	mean := sum / float64(nbins)
+	var varSum float64
+	for _, b := range bins {
+		d := b - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(nbins))
+	cov := 0.0
+	if mean > 0 {
+		cov = std / mean
+	}
+	return active / float64(nbins), cov
+}

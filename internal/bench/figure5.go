@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/hs"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/simnet"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/torclient"
+)
+
+// Figure5Config scales the hidden-service load-balancing experiment
+// (Figure 5). The paper uses 13 clients arriving ≈1 s apart, each
+// downloading a 10 MB file, with the LoadBalancer admitting at most two
+// clients per replica across up to four machines.
+type Figure5Config struct {
+	Clients       int
+	FileSize      int
+	ArrivalGap    time.Duration
+	MaxPerReplica int
+	MaxReplicas   int
+	// ServeEgress is each serving (Bento) node's uplink — the contended
+	// resource whose sharing produces the left plot's sagging curves.
+	ServeEgress float64
+	ClockScale  float64
+	// Duration bounds the balancer's run.
+	Duration time.Duration
+	Seed     int64
+}
+
+// DefaultFigure5Config mirrors the paper's parameters with a 2 MB file
+// (the 10 MB original is reproduced by cmd/benchharness -full).
+func DefaultFigure5Config() Figure5Config {
+	return Figure5Config{
+		Clients:       13,
+		FileSize:      2 << 20,
+		ArrivalGap:    time.Second,
+		MaxPerReplica: 2,
+		MaxReplicas:   4,
+		ServeEgress:   400 * 1024,
+		ClockScale:    0.02,
+		Duration:      5 * time.Minute,
+		Seed:          3,
+	}
+}
+
+// ClientRun is one client's download record.
+type ClientRun struct {
+	ID       int
+	Start    time.Duration // virtual arrival time
+	Finish   time.Duration // virtual completion time
+	Bytes    int
+	Err      string
+	SpeedKBs []float64 // per-second download speed samples (KB/s)
+}
+
+// MeanSpeedKBs returns the client's average download speed.
+func (c *ClientRun) MeanSpeedKBs() float64 {
+	d := (c.Finish - c.Start).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / 1024 / d
+}
+
+// Figure5Result holds both conditions' client series.
+type Figure5Result struct {
+	WithoutLB []*ClientRun
+	WithLB    []*ClientRun
+	Replicas  int // replicas the balancer spun up
+}
+
+// String renders per-client download speed summaries for both plots.
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Per-client download speed with and without LoadBalancer\n")
+	// Common scale across both plots so the sparklines compare.
+	peak := 1.0
+	for _, runs := range [][]*ClientRun{r.WithoutLB, r.WithLB} {
+		for _, c := range runs {
+			for _, v := range c.SpeedKBs {
+				if v > peak {
+					peak = v
+				}
+			}
+		}
+	}
+	render := func(name string, runs []*ClientRun) {
+		fmt.Fprintf(&b, "\n%s\n", name)
+		b.WriteString("client  arrive(s)  finish(s)  time(s)  mean KB/s  speed over time\n")
+		var total float64
+		n := 0
+		for _, c := range runs {
+			if c.Err != "" {
+				fmt.Fprintf(&b, "%6d  %9.1f  ERROR: %s\n", c.ID, c.Start.Seconds(), c.Err)
+				continue
+			}
+			fmt.Fprintf(&b, "%6d  %9.1f  %9.1f  %7.1f  %9.1f  %s\n",
+				c.ID, c.Start.Seconds(), c.Finish.Seconds(),
+				(c.Finish - c.Start).Seconds(), c.MeanSpeedKBs(),
+				sparkline(c.SpeedKBs, peak))
+			total += c.MeanSpeedKBs()
+			n++
+		}
+		if n > 0 {
+			fmt.Fprintf(&b, "mean per-client speed: %.1f KB/s over %d clients\n", total/float64(n), n)
+		}
+	}
+	render("Without LoadBalancer (single server)", r.WithoutLB)
+	render(fmt.Sprintf("With LoadBalancer (%d replicas at peak)", r.Replicas), r.WithLB)
+	return b.String()
+}
+
+// RunFigure5 regenerates Figure 5: the same client workload against a
+// single hidden-service instance and against the LoadBalancer function.
+func RunFigure5(cfg Figure5Config) (*Figure5Result, error) {
+	if cfg.Clients < 1 || cfg.FileSize < 1 {
+		return nil, fmt.Errorf("bench: bad figure5 config %+v", cfg)
+	}
+	result := &Figure5Result{}
+
+	without, _, err := runHSWorkload(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: without LB: %w", err)
+	}
+	result.WithoutLB = without
+
+	with, replicas, err := runHSWorkload(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: with LB: %w", err)
+	}
+	result.WithLB = with
+	result.Replicas = replicas
+	return result, nil
+}
+
+// sparkline renders per-second speed samples as a compact bar series on
+// a shared scale — the textual analog of Figure 5's curves. Long runs are
+// downsampled (by averaging) to at most 60 columns.
+func sparkline(samples []float64, peak float64) string {
+	if len(samples) == 0 || peak <= 0 {
+		return ""
+	}
+	const maxCols = 60
+	if len(samples) > maxCols {
+		bucketed := make([]float64, maxCols)
+		counts := make([]int, maxCols)
+		for i, v := range samples {
+			b := i * maxCols / len(samples)
+			bucketed[b] += v
+			counts[b]++
+		}
+		for i := range bucketed {
+			if counts[i] > 0 {
+				bucketed[i] /= float64(counts[i])
+			}
+		}
+		samples = bucketed
+	}
+	const glyphs = " ▁▂▃▄▅▆▇█"
+	runes := []rune(glyphs)
+	var b strings.Builder
+	for _, v := range samples {
+		idx := int(v / peak * float64(len(runes)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(runes) {
+			idx = len(runes) - 1
+		}
+		b.WriteRune(runes[idx])
+	}
+	return b.String()
+}
+
+// runHSWorkload deploys the service (balanced or not), launches the
+// arrival process, and records every client's download.
+func runHSWorkload(cfg Figure5Config, balanced bool) ([]*ClientRun, int, error) {
+	// Node 0 hosts the front and the first replica (the paper's
+	// "original"); nodes 1..MaxReplicas-1 host scale-out replicas.
+	bentoNodes := cfg.MaxReplicas
+	if bentoNodes < 1 {
+		bentoNodes = 1
+	}
+	w, err := testbed.New(testbed.Config{
+		Relays:      6 + bentoNodes,
+		BentoNodes:  bentoNodes,
+		ClockScale:  cfg.ClockScale,
+		BentoEgress: cfg.ServeEgress,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer w.Close()
+	clock := w.Clock()
+
+	ident, err := hs.NewIdentity()
+	if err != nil {
+		return nil, 0, err
+	}
+	identBlob, err := ident.Marshal()
+	if err != nil {
+		return nil, 0, err
+	}
+	content := make([]byte, cfg.FileSize)
+	for i := range content {
+		content[i] = byte(i * 31)
+	}
+
+	owner := w.NewBentoClient("hs-owner", cfg.Seed)
+	conn, err := owner.Connect(w.BentoNode(0))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+
+	runDone := make(chan error, 1)
+	var fnResult interp.Value
+	if balanced {
+		fn, err := functions.Deploy(conn, functions.DefaultManifest("loadbalancer", "python"), functions.LoadBalancerSource)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer fn.Shutdown()
+		// The first entry is the front's own node: the "original" server
+		// starts serving immediately (its content copy is loopback).
+		nodes := &interp.List{}
+		for i := 0; i < bentoNodes; i++ {
+			nodes.Elems = append(nodes.Elems, interp.Str(w.BentoNode(i).Nickname))
+		}
+		go func() {
+			res, err := fn.InvokeStream("run", []interp.Value{
+				interp.Bytes(identBlob), interp.Bytes(content), nodes,
+				interp.Str(functions.ReplicaSource),
+				interp.Int(cfg.MaxPerReplica), interp.Int(cfg.MaxReplicas),
+				interp.Int(cfg.Duration.Milliseconds()),
+			}, nil)
+			fnResult = res
+			runDone <- err
+		}()
+	} else {
+		fn, err := functions.Deploy(conn, functions.DefaultManifest("single-hs", "python"), functions.SingleServerSource)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer fn.Shutdown()
+		go func() {
+			_, err := fn.InvokeStream("run", []interp.Value{
+				interp.Bytes(identBlob), interp.Bytes(content),
+				interp.Int(cfg.Duration.Milliseconds()),
+			}, nil)
+			runDone <- err
+		}()
+	}
+
+	// Wait for the service descriptor to appear.
+	probe := w.NewTorClient("probe", cfg.Seed+99)
+	if err := awaitDescriptor(probe, ident.ServiceID(), clock); err != nil {
+		return nil, 0, err
+	}
+
+	// Client arrival process.
+	runs := make([]*ClientRun, cfg.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		if i > 0 {
+			clock.Sleep(cfg.ArrivalGap)
+		}
+		run := &ClientRun{ID: i + 1, Start: clock.Now()}
+		runs[i] = run
+		cli := w.NewTorClient(fmt.Sprintf("client%d", i+1), cfg.Seed+int64(i)*17)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			downloadFromHS(cli, ident.ServiceID(), cfg.FileSize, clock, run)
+		}()
+	}
+	wg.Wait()
+
+	replicas := 0
+	if balanced {
+		// Wait for the balancer's run to elapse so its replica count and
+		// any internal failure are authoritative.
+		wait := time.Duration(float64(cfg.Duration)*cfg.ClockScale) + 10*time.Second
+		select {
+		case err := <-runDone:
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench: LoadBalancer function: %w", err)
+			}
+			if n, ok := fnResult.(interp.Int); ok {
+				replicas = int(n)
+			}
+		case <-time.After(wait):
+			return nil, 0, fmt.Errorf("bench: LoadBalancer never finished")
+		}
+	}
+	return runs, replicas, nil
+}
+
+// awaitDescriptor polls the HSDirs until the service descriptor appears
+// (the function publishes it asynchronously after launch).
+func awaitDescriptor(cli *torclient.Client, serviceID string, clock *simnet.Clock) error {
+	deadline := time.Now().Add(30 * time.Second) // wall-clock guard
+	for time.Now().Before(deadline) {
+		if _, err := hs.FetchDescriptor(cli.Host(), cli.Consensus(), serviceID); err == nil {
+			return nil
+		}
+		clock.Sleep(500 * time.Millisecond)
+	}
+	return fmt.Errorf("bench: service descriptor never published")
+}
+
+// downloadFromHS dials the hidden service and reads exactly size bytes,
+// recording per-virtual-second speed samples into run.
+func downloadFromHS(cli *torclient.Client, serviceID string, size int, clock *simnet.Clock, run *ClientRun) {
+	conn, err := hs.Dial(cli, serviceID)
+	if err != nil {
+		run.Err = err.Error()
+		run.Finish = clock.Now()
+		return
+	}
+	defer conn.Close()
+
+	buf := make([]byte, 32*1024)
+	lastSample := clock.Now()
+	bytesInSample := 0
+	for run.Bytes < size {
+		n, err := conn.Read(buf)
+		run.Bytes += n
+		bytesInSample += n
+		now := clock.Now()
+		for now-lastSample >= time.Second {
+			run.SpeedKBs = append(run.SpeedKBs, float64(bytesInSample)/1024)
+			bytesInSample = 0
+			lastSample += time.Second
+		}
+		if err != nil {
+			if err != io.EOF {
+				run.Err = err.Error()
+			} else if run.Bytes < size {
+				run.Err = fmt.Sprintf("short download: %d of %d bytes", run.Bytes, size)
+			}
+			break
+		}
+	}
+	run.Finish = clock.Now()
+	if bytesInSample > 0 {
+		run.SpeedKBs = append(run.SpeedKBs, float64(bytesInSample)/1024)
+	}
+}

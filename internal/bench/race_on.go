@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is active; timing-shape
+// assertions relax under its 10-20x slowdown (CPU time bleeds into
+// virtual-time measurements).
+const raceEnabled = true

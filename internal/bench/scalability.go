@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"github.com/bento-nfv/bento/internal/enclave"
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+// ScalabilityConfig scales the §7.3 analysis.
+type ScalabilityConfig struct {
+	// FunctionMemory is the per-function enclave reservation used when
+	// estimating concurrent capacity (paper: ~16-20 MB for Bento+Browser
+	// plus 7.3 MB conclave overhead).
+	FunctionMemory int64
+	Seed           int64
+}
+
+// DefaultScalabilityConfig mirrors the paper's estimates.
+func DefaultScalabilityConfig() ScalabilityConfig {
+	return ScalabilityConfig{FunctionMemory: 20 << 20, Seed: 4}
+}
+
+// ScalabilityResult is the regenerated §7.3 analysis.
+type ScalabilityResult struct {
+	// Measured values.
+	BrowserLiveBytes   int64 // interpreter live memory after a Browser run
+	ServerRuntimeMB    float64
+	ConclaveOverheadMB float64
+	// EPC accounting.
+	EPCUsableMB       float64
+	PredictedCapacity int
+	MeasuredCapacity  int // enclaves actually launched before EPC exhaustion
+	ProcessHeapMB     float64
+}
+
+// String renders the analysis.
+func (r *ScalabilityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Scalability (§7.3): memory footprint vs. enclave page cache\n")
+	fmt.Fprintf(&b, "Bento server runtime enclave:   %6.1f MB\n", r.ServerRuntimeMB)
+	fmt.Fprintf(&b, "Browser function peak heap:     %6.2f MB (interpreter estimate)\n",
+		float64(r.BrowserLiveBytes)/(1<<20))
+	fmt.Fprintf(&b, "Conclave overhead (modeled):    %6.1f MB\n", r.ConclaveOverheadMB)
+	fmt.Fprintf(&b, "Usable EPC:                     %6.1f MB of %d MB\n",
+		r.EPCUsableMB, enclave.EPCTotal>>20)
+	fmt.Fprintf(&b, "Predicted concurrent functions: %d\n", r.PredictedCapacity)
+	fmt.Fprintf(&b, "Measured concurrent functions:  %d (launched to EPC exhaustion)\n", r.MeasuredCapacity)
+	fmt.Fprintf(&b, "Go process heap (whole world):  %6.1f MB\n", r.ProcessHeapMB)
+	return b.String()
+}
+
+// RunScalability regenerates the §7.3 scalability analysis: it measures a
+// real Browser run's interpreter memory, then packs SGX containers onto
+// one platform until the EPC is exhausted.
+func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
+	if cfg.FunctionMemory <= 0 {
+		cfg.FunctionMemory = 20 << 20
+	}
+	site := webfarm.NamedSite("measure.web", 20_000, []int{40_000, 30_000})
+	w, err := testbed.New(testbed.Config{Relays: 5, BentoNodes: 1, Sites: []*webfarm.Site{site}})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	res := &ScalabilityResult{
+		ServerRuntimeMB:    8, // the runtime enclave reservation in NewServer
+		ConclaveOverheadMB: 7.3,
+		EPCUsableMB:        float64(enclave.EPCUsable) / (1 << 20),
+	}
+
+	// Measure a live Browser run's interpreter footprint.
+	cli := w.NewBentoClient("alice", cfg.Seed)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	man := functions.DefaultManifest("browser", "python")
+	fn, err := functions.Deploy(conn, man, functions.BrowserSource)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := fn.Invoke("browser", interp.Str("measure.web"), interp.Int(1<<20)); err != nil {
+		return nil, err
+	}
+	res.BrowserLiveBytes = w.Servers[0].FunctionMemoryEstimate()
+	fn.Shutdown()
+
+	// Pack a dedicated platform with function-sized enclaves.
+	platform, err := enclave.NewPlatform(enclave.MinTCBVersion)
+	if err != nil {
+		return nil, err
+	}
+	reserve := cfg.FunctionMemory + int64(res.ConclaveOverheadMB*(1<<20))
+	res.PredictedCapacity = int((enclave.EPCUsable - res.ServerRuntimeMB*(1<<20)) / float64(reserve))
+	if _, err := platform.Launch([]byte("bento-runtime"), int64(res.ServerRuntimeMB*(1<<20))); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := platform.Launch([]byte("fn"), reserve); err != nil {
+			break
+		}
+		res.MeasuredCapacity++
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res.ProcessHeapMB = float64(ms.HeapAlloc) / (1 << 20)
+	return res, nil
+}

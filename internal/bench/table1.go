@@ -1,0 +1,217 @@
+// Package bench implements the paper's evaluation: one runnable
+// experiment per table and figure (Table 1, Table 2, Figure 5, the §7.3
+// scalability analysis) plus ablations over the design choices DESIGN.md
+// calls out. Each experiment builds its own deployment, runs the workload,
+// and returns a typed result with a text renderer shaped like the paper's
+// presentation.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bento-nfv/bento/internal/bento"
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+	"github.com/bento-nfv/bento/internal/wf"
+)
+
+// Table1Config scales the website-fingerprinting experiment (§7.3,
+// Table 1). The paper uses 100 sites × 10+ visits; tests shrink this.
+type Table1Config struct {
+	Sites        int
+	Visits       int
+	TrainPerSite int
+	// Paddings are the Browser padding targets evaluated alongside the
+	// unmodified-Tor baseline. The paper uses 0, 1 MB, and 7 MB.
+	Paddings []int
+	Seed     int64
+}
+
+// DefaultTable1Config mirrors the paper's setup.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{
+		Sites:        100,
+		Visits:       10,
+		TrainPerSite: 6,
+		Paddings:     []int{0, 1 << 20, 7 << 20},
+		Seed:         1,
+	}
+}
+
+// Table1Row is one defense condition's attack accuracy.
+type Table1Row struct {
+	Defense          string
+	Accuracy         float64 // k-NN (primary attack)
+	CentroidAccuracy float64 // secondary attack
+	Traces           int
+}
+
+// Table1Result is the regenerated Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// String renders the table in the paper's shape.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Attack accuracy vs. defense\n")
+	b.WriteString("Accuracy   Centroid   Defense\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6.1f%%    %6.1f%%    %s\n",
+			row.Accuracy*100, row.CentroidAccuracy*100, row.Defense)
+	}
+	return b.String()
+}
+
+// table1Sites generates site profiles whose *total* sizes collide for a
+// fraction of sites (≈70% distinct buckets) while their resource
+// structures stay distinct. Unmodified traffic then reveals structure
+// (high accuracy); Browser with 0 padding reveals only totals (partial
+// accuracy); large padding erases both (guess rate). A minority of sites
+// exceed 1 MB so the 1 MB condition stays slightly above chance, as in
+// the paper.
+func table1Sites(n int) []*webfarm.Site {
+	buckets := (n*7 + 9) / 10 // ≈0.7n distinct totals
+	if buckets < 1 {
+		buckets = 1
+	}
+	sites := make([]*webfarm.Site, 0, n)
+	for i := 0; i < n; i++ {
+		bucket := i % buckets
+		total := 60_000 + bucket*23_000
+		if bucket >= buckets*9/10 { // heavy tail above 1 MB
+			total = 1_100_000 + bucket*40_000
+		}
+		nres := 2 + i%9 // structure varies by site, not bucket
+		htmlSize := 4_000 + (i%5)*1_500
+		rest := total - htmlSize
+		resSizes := make([]int, nres)
+		// Deterministic uneven split so per-resource bursts differ
+		// between same-bucket sites.
+		weights := make([]int, nres)
+		wsum := 0
+		for r := 0; r < nres; r++ {
+			weights[r] = 1 + (i*31+r*17)%13
+			wsum += weights[r]
+		}
+		for r := 0; r < nres; r++ {
+			resSizes[r] = rest * weights[r] / wsum
+		}
+		sites = append(sites, webfarm.NamedSite(fmt.Sprintf("site-%03d.web", i), htmlSize, resSizes))
+	}
+	return sites
+}
+
+// RunTable1 regenerates Table 1: closed-world fingerprinting accuracy
+// against unmodified Tor and against Browser at each padding level.
+func RunTable1(cfg Table1Config) (*Table1Result, error) {
+	if cfg.Sites < 2 || cfg.Visits < 2 || cfg.TrainPerSite < 1 || cfg.TrainPerSite >= cfg.Visits {
+		return nil, fmt.Errorf("bench: bad table1 config %+v", cfg)
+	}
+	sites := table1Sites(cfg.Sites)
+
+	result := &Table1Result{}
+	conditions := []struct {
+		name    string
+		padding int // -1 = unmodified Tor
+	}{{"None (unmodified Tor)", -1}}
+	for _, p := range cfg.Paddings {
+		conditions = append(conditions, struct {
+			name    string
+			padding int
+		}{fmt.Sprintf("Browser, %s padding", humanBytes(p)), p})
+	}
+
+	for _, cond := range conditions {
+		traces, err := collectTraces(sites, cfg, cond.padding)
+		if err != nil {
+			return nil, fmt.Errorf("bench: condition %q: %w", cond.name, err)
+		}
+		knnAcc, err := wf.EvaluateClosedWorld(wf.NewKNN(3), traces, cfg.TrainPerSite, 100)
+		if err != nil {
+			return nil, err
+		}
+		centAcc, err := wf.EvaluateClosedWorld(&wf.Centroid{}, traces, cfg.TrainPerSite, 100)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, ts := range traces {
+			total += len(ts)
+		}
+		result.Rows = append(result.Rows, Table1Row{
+			Defense:          cond.name,
+			Accuracy:         knnAcc,
+			CentroidAccuracy: centAcc,
+			Traces:           total,
+		})
+	}
+	return result, nil
+}
+
+// collectTraces visits every site cfg.Visits times under one condition,
+// recording the client–guard link each time.
+func collectTraces(sites []*webfarm.Site, cfg Table1Config, padding int) (map[int][]*wf.Trace, error) {
+	w, err := testbed.New(testbed.Config{
+		Relays:     6,
+		BentoNodes: 1,
+		Sites:      sites,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	cli := w.NewBentoClient("victim", cfg.Seed)
+	var collector wf.Collector
+	cli.Tor.SetTrafficTap(collector.Tap())
+
+	traces := make(map[int][]*wf.Trace, len(sites))
+	for siteIdx, site := range sites {
+		for v := 0; v < cfg.Visits; v++ {
+			collector.Reset()
+			if padding < 0 {
+				if err := visitDirect(cli, site.Domain); err != nil {
+					return nil, fmt.Errorf("visit %s: %w", site.Domain, err)
+				}
+			} else {
+				if _, err := functions.Browse(cli, w.BentoNode(0), site.Domain, padding); err != nil {
+					return nil, fmt.Errorf("browse %s: %w", site.Domain, err)
+				}
+			}
+			traces[siteIdx] = append(traces[siteIdx], collector.Snapshot())
+		}
+	}
+	return traces, nil
+}
+
+// visitDirect loads a page the standard-Tor way: fresh circuit, browser-
+// style sequential resource fetches through an exit stream.
+func visitDirect(cli *bento.Client, domain string) error {
+	path, err := cli.Tor.PickPath(domain, webfarm.Port)
+	if err != nil {
+		return err
+	}
+	circ, err := cli.Tor.BuildCircuit(path)
+	if err != nil {
+		return err
+	}
+	defer circ.Close()
+	_, err = webfarm.FetchPage(circ.OpenStream, domain)
+	return err
+}
+
+func humanBytes(n int) string {
+	switch {
+	case n <= 0:
+		return "0MB"
+	case n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n/(1<<20))
+	case n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+// Table2Config scales the page-download-time experiment (Table 2).
+type Table2Config struct {
+	// Paddings are the Browser padding targets (paper: 0, 1 MB, 7 MB).
+	Paddings []int
+	// ClockScale for this experiment. Timing experiments need a gentler
+	// scale than throughput ones so CPU time does not pollute virtual
+	// durations.
+	ClockScale float64
+	// RelayEgress caps relay uplinks, standing in for Tor's bandwidth
+	// scarcity (bytes per virtual second).
+	RelayEgress float64
+	// LinkDelay is relay-to-relay/one-way client propagation delay.
+	LinkDelay time.Duration
+	// WebEgress is each site host's uplink in bytes per virtual second.
+	WebEgress float64
+	// WebDelay is the one-way delay between exits and web hosts,
+	// modeling distant servers (the paper's RTT argument for why
+	// Browser can beat standard Tor on small pages).
+	WebDelay time.Duration
+	// Trials per (domain, condition); the median is reported.
+	Trials int
+	Seed   int64
+}
+
+// DefaultTable2Config mirrors the paper's five domains and paddings.
+func DefaultTable2Config() Table2Config {
+	return Table2Config{
+		Paddings:    []int{0, 1 << 20, 7 << 20},
+		ClockScale:  0.05,
+		RelayEgress: 150 * 1024,
+		LinkDelay:   15 * time.Millisecond,
+		WebEgress:   600 * 1024,
+		WebDelay:    100 * time.Millisecond,
+		Trials:      3,
+		Seed:        2,
+	}
+}
+
+// table2Sites returns stand-ins for the paper's five domains, with page
+// weights and resource structures chosen to span small/simple through
+// large/complex.
+func table2Sites() []*webfarm.Site {
+	sites := []*webfarm.Site{
+		webfarm.NamedSite("indiatoday.in", 60_000, []int{150_000, 120_000, 90_000, 80_000, 60_000, 50_000, 40_000}),
+		webfarm.NamedSite("yahoo.com", 90_000, []int{200_000, 150_000, 130_000, 110_000, 90_000, 70_000}),
+		webfarm.NamedSite("netflix.com", 120_000, []int{350_000, 250_000, 180_000, 120_000}),
+		webfarm.NamedSite("ebay.com", 70_000, []int{160_000, 140_000, 100_000, 90_000, 60_000}),
+		webfarm.NamedSite("aliexpress.com", 40_000, []int{90_000, 70_000, 60_000, 50_000, 40_000, 30_000, 25_000, 20_000}),
+	}
+	for _, s := range sites {
+		s.Compressible = true // real pages compress; Browser ships them compressed
+	}
+	return sites
+}
+
+// Table2Row is one domain's download times in virtual seconds.
+type Table2Row struct {
+	Domain      string
+	StandardTor float64
+	Browser     map[int]float64 // padding -> seconds
+}
+
+// Table2Result is the regenerated Table 2.
+type Table2Result struct {
+	Paddings []int
+	Rows     []Table2Row
+}
+
+// String renders the table in the paper's shape, bolding (with a *)
+// cells where Browser beats standard Tor.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Download times (virtual seconds); * = Browser faster than standard Tor\n")
+	fmt.Fprintf(&b, "%-16s %12s", "Domain", "StandardTor")
+	for _, p := range r.Paddings {
+		fmt.Fprintf(&b, " %11s", "Browser "+humanBytes(p))
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %12.2f", row.Domain, row.StandardTor)
+		for _, p := range r.Paddings {
+			mark := " "
+			if row.Browser[p] < row.StandardTor {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, " %10.2f%s", row.Browser[p], mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RunTable2 regenerates Table 2: full page download time for each domain
+// under standard Tor and under Browser at each padding level.
+func RunTable2(cfg Table2Config) (*Table2Result, error) {
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	if cfg.ClockScale <= 0 {
+		cfg.ClockScale = 0.05
+	}
+	sites := table2Sites()
+	w, err := testbed.New(testbed.Config{
+		Relays:      6,
+		BentoNodes:  1,
+		Sites:       sites,
+		ClockScale:  cfg.ClockScale,
+		LinkDelay:   cfg.LinkDelay,
+		RelayEgress: cfg.RelayEgress,
+		WebEgress:   cfg.WebEgress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	// Web hosts are "far": exits reach them over a long leg, clients
+	// would reach them over an even longer one. Relay-to-relay stays at
+	// the default short delay.
+	for _, site := range sites {
+		for _, r := range w.Consensus.Relays {
+			w.Net.SetDelay(site.Domain, hostOf(r.Address), cfg.WebDelay)
+		}
+	}
+
+	cli := w.NewBentoClient("timer", cfg.Seed)
+	clock := w.Clock()
+	result := &Table2Result{Paddings: cfg.Paddings}
+
+	for _, site := range sites {
+		row := Table2Row{Domain: site.Domain, Browser: make(map[int]float64)}
+
+		row.StandardTor, err = medianOf(cfg.Trials, func() (float64, error) {
+			start := clock.Now()
+			if err := visitDirect(cli, site.Domain); err != nil {
+				return 0, err
+			}
+			return (clock.Now() - start).Seconds(), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: standard tor %s: %w", site.Domain, err)
+		}
+
+		for _, padding := range cfg.Paddings {
+			p := padding
+			row.Browser[p], err = medianOf(cfg.Trials, func() (float64, error) {
+				start := clock.Now()
+				if _, err := functions.Browse(cli, w.BentoNode(0), site.Domain, p); err != nil {
+					return 0, err
+				}
+				return (clock.Now() - start).Seconds(), nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: browser %s pad %d: %w", site.Domain, p, err)
+			}
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+func medianOf(trials int, f func() (float64, error)) (float64, error) {
+	vals := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		v, err := f()
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, v)
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2], nil
+}
+
+func hostOf(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}

@@ -1,0 +1,200 @@
+// Package bento implements the paper's primary contribution: the Bento
+// server (§5) that runs client-provided functions on Tor relays inside
+// policy-constrained, optionally enclaved containers, and the Bento client
+// used to discover nodes, negotiate policies, upload functions, and invoke
+// them over Tor.
+package bento
+
+import (
+	"fmt"
+
+	"github.com/bento-nfv/bento/internal/enclave"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/policy"
+)
+
+// Port is the port Bento servers listen on, reachable either via an exit
+// circuit to localhost or as a hidden service.
+const Port = 5000
+
+// Ops of the Bento client/server protocol.
+const (
+	opPolicy    = "policy"
+	opAttest    = "attest"
+	opChallenge = "challenge"
+	opSpawn     = "spawn"
+	opUpload    = "upload"
+	opInvoke    = "invoke"
+	opShutdown  = "shutdown"
+)
+
+// request is one client message.
+type request struct {
+	Op       string           `json:"op"`
+	Image    string           `json:"image,omitempty"`
+	Manifest *policy.Manifest `json:"manifest,omitempty"`
+	Nonce    []byte           `json:"nonce,omitempty"`
+
+	InvokeToken   string `json:"invoke_token,omitempty"`
+	ShutdownToken string `json:"shutdown_token,omitempty"`
+
+	// Challenge and PoWNonce carry a spawn puzzle solution when the
+	// node's policy demands one.
+	Challenge []byte `json:"challenge,omitempty"`
+	PoWNonce  uint64 `json:"pow_nonce,omitempty"`
+
+	Code   []byte `json:"code,omitempty"`
+	Sealed bool   `json:"sealed,omitempty"`
+
+	Function string     `json:"function,omitempty"`
+	Args     []wireValu `json:"args,omitempty"`
+}
+
+// response frame types.
+const (
+	frameOK     = "ok"
+	frameError  = "error"
+	frameTokens = "tokens"
+	frameData   = "data"
+	frameDone   = "done"
+)
+
+// response is one server frame.
+type response struct {
+	Type  string `json:"type"`
+	Error string `json:"error,omitempty"`
+
+	Policy *policy.Middlebox `json:"policy,omitempty"`
+	Report *enclave.Report   `json:"report,omitempty"`
+
+	InvokeToken   string `json:"invoke_token,omitempty"`
+	ShutdownToken string `json:"shutdown_token,omitempty"`
+
+	// Challenge is a fresh single-use spawn puzzle input.
+	Challenge []byte `json:"challenge,omitempty"`
+
+	Payload []byte `json:"payload,omitempty"`
+	// BinaryLen, when nonzero, announces that the frame's payload
+	// follows the JSON frame as raw bytes (avoiding base64 inflation for
+	// bulk data).
+	BinaryLen int       `json:"binary_len,omitempty"`
+	Result    *wireValu `json:"result,omitempty"`
+	Stdout    string    `json:"stdout,omitempty"`
+}
+
+// wireValu is the JSON encoding of an interp.Value crossing the protocol.
+type wireValu struct {
+	T string     `json:"t"`
+	I int64      `json:"i,omitempty"`
+	S string     `json:"s,omitempty"`
+	B []byte     `json:"b,omitempty"`
+	L []wireValu `json:"l,omitempty"`
+	D []wirePair `json:"d,omitempty"`
+	V bool       `json:"v,omitempty"`
+}
+
+type wirePair struct {
+	K wireValu `json:"k"`
+	V wireValu `json:"v"`
+}
+
+// encodeValue converts an interp.Value for the wire.
+func encodeValue(v interp.Value) (wireValu, error) {
+	switch x := v.(type) {
+	case interp.Int:
+		return wireValu{T: "i", I: int64(x)}, nil
+	case interp.Str:
+		return wireValu{T: "s", S: string(x)}, nil
+	case interp.Bytes:
+		return wireValu{T: "b", B: []byte(x)}, nil
+	case interp.Bool:
+		return wireValu{T: "o", V: bool(x)}, nil
+	case interp.NoneVal:
+		return wireValu{T: "n"}, nil
+	case *interp.List:
+		out := wireValu{T: "l", L: make([]wireValu, 0, len(x.Elems))}
+		for _, e := range x.Elems {
+			we, err := encodeValue(e)
+			if err != nil {
+				return wireValu{}, err
+			}
+			out.L = append(out.L, we)
+		}
+		return out, nil
+	case *interp.Dict:
+		out := wireValu{T: "d"}
+		keys := x.Keys()
+		vals := x.Values()
+		for i := range keys {
+			wk, err := encodeValue(keys[i])
+			if err != nil {
+				return wireValu{}, err
+			}
+			wv, err := encodeValue(vals[i])
+			if err != nil {
+				return wireValu{}, err
+			}
+			out.D = append(out.D, wirePair{K: wk, V: wv})
+		}
+		return out, nil
+	default:
+		return wireValu{}, fmt.Errorf("bento: cannot send %s over the wire", v.Type())
+	}
+}
+
+// decodeValue converts a wire value back to an interp.Value.
+func decodeValue(w wireValu) (interp.Value, error) {
+	switch w.T {
+	case "i":
+		return interp.Int(w.I), nil
+	case "s":
+		return interp.Str(w.S), nil
+	case "b":
+		return interp.Bytes(w.B), nil
+	case "o":
+		return interp.Bool(w.V), nil
+	case "n", "":
+		return interp.None, nil
+	case "l":
+		l := &interp.List{}
+		for _, e := range w.L {
+			v, err := decodeValue(e)
+			if err != nil {
+				return nil, err
+			}
+			l.Elems = append(l.Elems, v)
+		}
+		return l, nil
+	case "d":
+		d := interp.NewDict()
+		for _, p := range w.D {
+			k, err := decodeValue(p.K)
+			if err != nil {
+				return nil, err
+			}
+			v, err := decodeValue(p.V)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Set(k, v); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("bento: unknown wire value type %q", w.T)
+	}
+}
+
+// MarshalArgs is a helper for tests and tools building raw requests.
+func MarshalArgs(args ...interp.Value) ([]wireValu, error) {
+	out := make([]wireValu, 0, len(args))
+	for _, a := range args {
+		w, err := encodeValue(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package bento
+
+// Tests for the spawn-puzzle rate limit (§6.2/§11 "proofs of work"
+// against function flooding).
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bento-nfv/bento/internal/enclave"
+	"github.com/bento-nfv/bento/internal/policy"
+	"github.com/bento-nfv/bento/internal/torclient"
+)
+
+// buildPoWWorld is buildWorld with a spawn puzzle demanded by the node.
+func buildPoWWorld(t *testing.T, bits int) (*world, *Server) {
+	t.Helper()
+	w := buildWorld(t, 3, 0) // no default Bento servers
+	host := w.net.Host("relay0")
+	platform, err := enclave.NewPlatform(enclave.MinTCBVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ias.RegisterPlatform(platform.QuotingKey())
+	pol := policy.DefaultMiddlebox()
+	pol.SpawnPoWBits = bits
+	srv, err := NewServer(ServerConfig{
+		Host:       host,
+		Tor:        torclient.New(host, w.cons, 2000),
+		Policy:     pol,
+		ExitPolicy: exitPolicyWithBento(t),
+		Platform:   platform,
+		IAS:        w.ias,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return w, srv
+}
+
+// connectDirect bypasses node discovery (relay0 has no Bento flag here)
+// and opens the protocol stream through a circuit exiting at relay0.
+func connectDirect(t *testing.T, w *world, cli *Client) *Conn {
+	t.Helper()
+	conn, err := cli.Connect(w.cons.Relay("relay0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestSpawnPuzzlePaidAutomatically(t *testing.T) {
+	w, _ := buildPoWWorld(t, 8)
+	cli := w.client(t, "alice", 800)
+	conn := connectDirect(t, w, cli)
+
+	pol, err := conn.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.SpawnPoWBits != 8 {
+		t.Fatalf("advertised %d bits, want 8", pol.SpawnPoWBits)
+	}
+	// Client.Spawn fetches a challenge and solves it transparently.
+	fn, err := conn.Spawn(basicManifest())
+	if err != nil {
+		t.Fatalf("paying spawn failed: %v", err)
+	}
+	defer fn.Shutdown()
+	if err := fn.Upload(echoFunction); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnWithoutPuzzleRejected(t *testing.T) {
+	w, _ := buildPoWWorld(t, 8)
+	cli := w.client(t, "mallory", 801)
+	conn := connectDirect(t, w, cli)
+
+	// A raw spawn with no challenge/nonce must be refused.
+	resp, err := conn.roundTrip(&request{Op: opSpawn, Manifest: basicManifest()}, nil)
+	if err == nil {
+		t.Fatalf("freeloading spawn accepted: %+v", resp)
+	}
+	if !strings.Contains(err.Error(), "proof-of-work") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSpawnChallengeSingleUse(t *testing.T) {
+	w, _ := buildPoWWorld(t, 4)
+	cli := w.client(t, "mallory", 802)
+	conn := connectDirect(t, w, cli)
+
+	// Solve one challenge honestly...
+	chResp, err := conn.roundTrip(&request{Op: opChallenge}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := solveFor(t, chResp.Challenge, 4)
+	req := &request{Op: opSpawn, Manifest: basicManifest(), Challenge: chResp.Challenge, PoWNonce: nonce}
+	if _, err := conn.roundTrip(req, nil); err != nil {
+		t.Fatalf("first use failed: %v", err)
+	}
+	// ...then replay it: the challenge was consumed.
+	if _, err := conn.roundTrip(req, nil); err == nil {
+		t.Fatal("challenge replay accepted")
+	}
+}
+
+func TestSpawnWrongNonceRejected(t *testing.T) {
+	w, _ := buildPoWWorld(t, 12)
+	cli := w.client(t, "mallory", 803)
+	conn := connectDirect(t, w, cli)
+	chResp, err := conn.roundTrip(&request{Op: opChallenge}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &request{Op: opSpawn, Manifest: basicManifest(), Challenge: chResp.Challenge, PoWNonce: 0}
+	if _, err := conn.roundTrip(req, nil); err == nil {
+		t.Fatal("zero-work nonce accepted at 12 bits")
+	}
+}
+
+func TestSpawnForeignChallengeRejected(t *testing.T) {
+	w, _ := buildPoWWorld(t, 4)
+	cli := w.client(t, "mallory", 804)
+	conn := connectDirect(t, w, cli)
+	// A self-invented challenge is unknown to the server even with a
+	// valid proof over it.
+	forged := []byte("0123456789abcdef")
+	nonce := solveFor(t, forged, 4)
+	req := &request{Op: opSpawn, Manifest: basicManifest(), Challenge: forged, PoWNonce: nonce}
+	if _, err := conn.roundTrip(req, nil); err == nil {
+		t.Fatal("forged challenge accepted")
+	}
+}
+
+func solveFor(t *testing.T, challenge []byte, bits int) uint64 {
+	t.Helper()
+	nonce, err := solveSpawnChallenge(challenge, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nonce
+}

@@ -1,0 +1,160 @@
+package cell
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	c := &Cell{CircID: 0xDEADBEEF, Cmd: CmdRelay}
+	copy(c.Payload[:], []byte("payload bytes"))
+	buf := c.Marshal()
+	if len(buf) != Size {
+		t.Fatalf("marshal length %d, want %d", len(buf), Size)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CircID != c.CircID || got.Cmd != c.Cmd || got.Payload != c.Payload {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestUnmarshalBadLength(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, Size-1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := Unmarshal(make([]byte, Size+1)); err == nil {
+		t.Fatal("long buffer accepted")
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	cells := []*Cell{
+		{CircID: 1, Cmd: CmdCreate},
+		{CircID: 2, Cmd: CmdCreated},
+		{CircID: 3, Cmd: CmdRelay},
+		{CircID: 4, Cmd: CmdDestroy},
+	}
+	for _, c := range cells {
+		if err := Write(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range cells {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CircID != want.CircID || got.Cmd != want.Cmd {
+			t.Fatalf("got circ %d cmd %v, want circ %d cmd %v",
+				got.CircID, got.Cmd, want.CircID, want.Cmd)
+		}
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("Read from empty buffer succeeded")
+	}
+}
+
+func TestPackParseRelay(t *testing.T) {
+	payload := make([]byte, PayloadLen)
+	data := []byte("GET /index.html")
+	hdr := RelayHeader{StreamID: 7, Cmd: RelayBegin}
+	if err := PackRelay(payload, hdr, data); err != nil {
+		t.Fatal(err)
+	}
+	if !Recognized(payload) {
+		t.Fatal("freshly packed relay payload not recognized")
+	}
+	got, gotData, err := ParseRelay(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StreamID != 7 || got.Cmd != RelayBegin || int(got.Length) != len(data) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(gotData, data) {
+		t.Fatalf("data mismatch: %q", gotData)
+	}
+}
+
+func TestPackRelayTooLong(t *testing.T) {
+	payload := make([]byte, PayloadLen)
+	if err := PackRelay(payload, RelayHeader{}, make([]byte, MaxRelayData+1)); err == nil {
+		t.Fatal("oversized relay data accepted")
+	}
+	if err := PackRelay(payload, RelayHeader{}, make([]byte, MaxRelayData)); err != nil {
+		t.Fatalf("max-size relay data rejected: %v", err)
+	}
+}
+
+func TestPackRelayBadPayloadLen(t *testing.T) {
+	if err := PackRelay(make([]byte, 10), RelayHeader{}, nil); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, _, err := ParseRelay(make([]byte, 10)); err == nil {
+		t.Fatal("short payload accepted by ParseRelay")
+	}
+}
+
+func TestParseRelayCorruptLength(t *testing.T) {
+	payload := make([]byte, PayloadLen)
+	PackRelay(payload, RelayHeader{Cmd: RelayData}, nil)
+	payload[LengthOffset] = 0xFF
+	payload[LengthOffset+1] = 0xFF
+	if _, _, err := ParseRelay(payload); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	cases := map[string]string{
+		CmdCreate.String():       "CREATE",
+		CmdRelay.String():        "RELAY",
+		Command(99).String():     "Command(99)",
+		RelayBegin.String():      "BEGIN",
+		RelayDrop.String():       "DROP",
+		RelayEnd.String():        "END",
+		RelayCommand(0).String(): "RelayCommand(0)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: PackRelay followed by ParseRelay returns the original header
+// and data for any data up to MaxRelayData.
+func TestRelayRoundTripProperty(t *testing.T) {
+	check := func(streamID uint16, cmdSeed byte, data []byte) bool {
+		if len(data) > MaxRelayData {
+			data = data[:MaxRelayData]
+		}
+		cmd := RelayCommand(cmdSeed%18 + 1)
+		payload := make([]byte, PayloadLen)
+		if err := PackRelay(payload, RelayHeader{StreamID: streamID, Cmd: cmd}, data); err != nil {
+			return false
+		}
+		hdr, got, err := ParseRelay(payload)
+		if err != nil {
+			return false
+		}
+		return hdr.StreamID == streamID && hdr.Cmd == cmd && bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCellMarshal(b *testing.B) {
+	c := &Cell{CircID: 42, Cmd: CmdRelay}
+	b.ReportAllocs()
+	b.SetBytes(Size)
+	for i := 0; i < b.N; i++ {
+		c.Marshal()
+	}
+}

@@ -1,0 +1,98 @@
+package cell
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Control payload codecs for relay cells. Control payloads are small and
+// infrequent (circuit construction, hidden-service signaling), so they are
+// encoded as JSON inside the relay data; bulk data cells carry raw bytes.
+
+// ExtendPayload asks a relay to extend the circuit to a new hop.
+type ExtendPayload struct {
+	Addr        string `json:"addr"`        // target OR address "host:port"
+	Fingerprint string `json:"fingerprint"` // target identity fingerprint
+	Handshake   []byte `json:"handshake"`   // client ntor CREATE payload
+}
+
+// ExtendedPayload carries the new hop's CREATED reply back to the client.
+type ExtendedPayload struct {
+	Reply []byte `json:"reply"`
+}
+
+// BeginPayload asks the final hop to open a stream to a destination.
+type BeginPayload struct {
+	Target string `json:"target"` // "host:port"; host may be "localhost"
+}
+
+// EndPayload closes a stream.
+type EndPayload struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// EstablishIntroPayload registers the current circuit as an introduction
+// point circuit for a hidden service.
+type EstablishIntroPayload struct {
+	ServiceID string `json:"service_id"` // hex of the service identity key
+	Signature []byte `json:"signature"`  // ed25519 over "establish-intro:"+ServiceID
+}
+
+// Introduce1Payload is sent by a client to an introduction point. Inner is
+// opaque to the intro point and forwarded verbatim to the service as an
+// INTRODUCE2 cell.
+type Introduce1Payload struct {
+	ServiceID string `json:"service_id"`
+	Inner     []byte `json:"inner"`
+}
+
+// IntroducePlaintext is the decoded Inner of an INTRODUCE1/2 exchange: the
+// rendezvous point to meet at, the one-time cookie, and the client's half
+// of the service ntor handshake.
+type IntroducePlaintext struct {
+	RendezvousAddr string `json:"rendezvous_addr"` // OR address of the RP
+	RendezvousNick string `json:"rendezvous_nick"`
+	Cookie         []byte `json:"cookie"`
+	Handshake      []byte `json:"handshake"`
+	// PoWNonce carries the client's introduction proof-of-work when the
+	// service's descriptor demands one (§9.4 DDoS defense).
+	PoWNonce uint64 `json:"pow_nonce,omitempty"`
+}
+
+// EstablishRendezvousPayload registers a one-time rendezvous cookie.
+type EstablishRendezvousPayload struct {
+	Cookie []byte `json:"cookie"`
+}
+
+// Rendezvous1Payload is sent by the hidden service to the rendezvous point
+// to complete the splice; Reply is forwarded to the client as RENDEZVOUS2.
+type Rendezvous1Payload struct {
+	Cookie []byte `json:"cookie"`
+	Reply  []byte `json:"reply"` // service ntor CREATED reply
+}
+
+// Rendezvous2Payload delivers the service handshake reply to the client.
+type Rendezvous2Payload struct {
+	Reply []byte `json:"reply"`
+}
+
+// EncodeControl marshals a control payload, enforcing the relay-cell size
+// limit.
+func EncodeControl(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("cell: encoding control payload: %w", err)
+	}
+	if len(b) > MaxRelayData {
+		return nil, fmt.Errorf("cell: control payload %d bytes exceeds %d", len(b), MaxRelayData)
+	}
+	return b, nil
+}
+
+// DecodeControl unmarshals a control payload.
+func DecodeControl(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("cell: decoding control payload: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package dirauth
+
+import (
+	"crypto/ed25519"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/policy"
+	"github.com/bento-nfv/bento/internal/simnet"
+)
+
+// newDesc builds a signed descriptor with the given flags.
+func newDesc(t *testing.T, nick string, flags []string, exit *policy.ExitPolicy) (*Descriptor, ed25519.PrivateKey) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Descriptor{
+		Nickname:   nick,
+		Address:    nick + ":9001",
+		Identity:   pub,
+		OnionKey:   make([]byte, 32),
+		Flags:      flags,
+		ExitPolicy: exit,
+	}
+	for _, f := range flags {
+		if f == FlagBento {
+			d.Middlebox = policy.DefaultMiddlebox()
+			d.BentoAddr = nick + ":5000"
+		}
+	}
+	if err := d.Sign(priv); err != nil {
+		t.Fatal(err)
+	}
+	return d, priv
+}
+
+func TestDescriptorSignVerify(t *testing.T) {
+	d, _ := newDesc(t, "r1", []string{FlagGuard}, nil)
+	if err := d.Verify(); err != nil {
+		t.Fatalf("valid descriptor rejected: %v", err)
+	}
+	d.Address = "evil:9001" // tamper
+	if err := d.Verify(); err == nil {
+		t.Fatal("tampered descriptor accepted")
+	}
+}
+
+func TestDescriptorVerifyBadKey(t *testing.T) {
+	d, _ := newDesc(t, "r1", nil, nil)
+	d.Identity = []byte("short")
+	if err := d.Verify(); err == nil {
+		t.Fatal("bad identity key length accepted")
+	}
+}
+
+func TestAuthorityPublishAndConsensus(t *testing.T) {
+	a, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := newDesc(t, "guard1", []string{FlagGuard}, nil)
+	d2, _ := newDesc(t, "exit1", []string{FlagExit}, policy.AcceptAll())
+	for _, d := range []*Descriptor{d1, d2} {
+		if err := a.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := a.Consensus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(a.PublicKey()); err != nil {
+		t.Fatalf("consensus verify: %v", err)
+	}
+	if len(c.Relays) != 2 {
+		t.Fatalf("consensus has %d relays, want 2", len(c.Relays))
+	}
+	if c.Relay("guard1") == nil || c.Relay("nonesuch") != nil {
+		t.Fatal("Relay lookup broken")
+	}
+
+	// Wrong authority key must fail.
+	other, _ := NewAuthority()
+	if err := c.Verify(other.PublicKey()); err == nil {
+		t.Fatal("consensus verified with wrong authority key")
+	}
+}
+
+func TestAuthorityRejectsTamperedDescriptor(t *testing.T) {
+	a, _ := NewAuthority()
+	d, _ := newDesc(t, "r1", []string{FlagGuard}, nil)
+	d.Flags = append(d.Flags, FlagExit) // tamper post-signing
+	if err := a.Publish(d); err == nil {
+		t.Fatal("tampered descriptor published")
+	}
+}
+
+func TestAuthorityRejectsBentoWithoutPolicy(t *testing.T) {
+	a, _ := NewAuthority()
+	pub, priv, _ := ed25519.GenerateKey(nil)
+	d := &Descriptor{
+		Nickname: "b1",
+		Address:  "b1:9001",
+		Identity: pub,
+		OnionKey: make([]byte, 32),
+		Flags:    []string{FlagBento},
+	}
+	d.Sign(priv)
+	if err := a.Publish(d); err == nil {
+		t.Fatal("Bento relay without middlebox policy accepted")
+	}
+}
+
+func TestRepublishReplaces(t *testing.T) {
+	a, _ := NewAuthority()
+	d, priv := newDesc(t, "r1", []string{FlagGuard}, nil)
+	if err := a.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	d2 := *d
+	d2.Flags = []string{FlagGuard, FlagHSDir}
+	d2.Signature = nil
+	if err := d2.Sign(priv); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Publish(&d2); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := a.Consensus()
+	if len(c.Relays) != 1 || !c.Relays[0].HasFlag(FlagHSDir) {
+		t.Fatal("republish did not replace descriptor")
+	}
+}
+
+func TestWithFlagAndBentoNodes(t *testing.T) {
+	a, _ := NewAuthority()
+	dg, _ := newDesc(t, "g", []string{FlagGuard}, nil)
+	de, _ := newDesc(t, "e", []string{FlagExit}, policy.AcceptAll())
+	db, _ := newDesc(t, "b", []string{FlagExit, FlagBento}, policy.AcceptAll())
+	for _, d := range []*Descriptor{dg, de, db} {
+		if err := a.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := a.Consensus()
+	if got := len(c.WithFlag(FlagExit)); got != 2 {
+		t.Fatalf("WithFlag(Exit) = %d, want 2", got)
+	}
+	if got := len(c.BentoNodes()); got != 1 {
+		t.Fatalf("BentoNodes() = %d, want 1", got)
+	}
+	if got := len(c.BentoNodes("net.dial")); got != 1 {
+		t.Fatalf("BentoNodes(net.dial) = %d, want 1", got)
+	}
+	if got := len(c.BentoNodes("os.exec")); got != 0 {
+		t.Fatalf("BentoNodes(os.exec) = %d, want 0", got)
+	}
+}
+
+func TestPickPath(t *testing.T) {
+	a, _ := NewAuthority()
+	restricted, _ := policy.ParseExitPolicy("accept web:80", "reject *:*")
+	specs := []struct {
+		nick  string
+		flags []string
+		exit  *policy.ExitPolicy
+	}{
+		{"guard1", []string{FlagGuard}, nil},
+		{"guard2", []string{FlagGuard}, nil},
+		{"mid1", nil, nil},
+		{"exit1", []string{FlagExit}, policy.AcceptAll()},
+		{"exit2", []string{FlagExit}, restricted},
+	}
+	for _, s := range specs {
+		d, _ := newDesc(t, s.nick, s.flags, s.exit)
+		if err := a.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := a.Consensus()
+	rng := rand.New(rand.NewSource(1))
+
+	for i := 0; i < 20; i++ {
+		path, err := c.PickPath(rng, "anything", 443)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) != 3 {
+			t.Fatalf("path length %d", len(path))
+		}
+		// Distinct relays.
+		if path[0].Nickname == path[1].Nickname || path[1].Nickname == path[2].Nickname ||
+			path[0].Nickname == path[2].Nickname {
+			t.Fatalf("path reuses a relay: %s %s %s",
+				path[0].Nickname, path[1].Nickname, path[2].Nickname)
+		}
+		// Only exit1 permits anything:443.
+		if path[2].Nickname != "exit1" {
+			t.Fatalf("exit %s does not permit destination", path[2].Nickname)
+		}
+		if !path[0].HasFlag(FlagGuard) {
+			t.Fatalf("entry %s is not a guard", path[0].Nickname)
+		}
+	}
+
+	// web:80 is reachable through either exit.
+	sawExit2 := false
+	for i := 0; i < 50; i++ {
+		path, err := c.PickPath(rng, "web", 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path[2].Nickname == "exit2" {
+			sawExit2 = true
+		}
+	}
+	if !sawExit2 {
+		t.Fatal("restricted exit never chosen for permitted destination")
+	}
+
+	// A consensus whose only exit is restricted cannot reach port 22.
+	a2, _ := NewAuthority()
+	for _, nick := range []string{"guard1", "guard2", "mid1"} {
+		d, _ := newDesc(t, nick, []string{FlagGuard}, nil)
+		a2.Publish(d)
+	}
+	dr, _ := newDesc(t, "exit2", []string{FlagExit}, restricted)
+	a2.Publish(dr)
+	c2, _ := a2.Consensus()
+	if _, err := c2.PickPath(rng, "host", 22); err == nil {
+		t.Fatal("path found with no permitting exit")
+	}
+}
+
+func TestServerOverSimnet(t *testing.T) {
+	n := simnet.NewNetwork(simnet.NewClock(0.001), time.Millisecond)
+	dirHost := n.AddHost("dir", 0)
+	relayHost := n.AddHost("relay1", 0)
+	clientHost := n.AddHost("client", 0)
+
+	auth, _ := NewAuthority()
+	srv, err := Serve(dirHost, auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d, _ := newDesc(t, "relay1", []string{FlagGuard, FlagExit}, policy.AcceptAll())
+	if err := Publish(relayHost, "dir:7000", d); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	c, err := FetchConsensus(clientHost, "dir:7000", auth.PublicKey())
+	if err != nil {
+		t.Fatalf("FetchConsensus: %v", err)
+	}
+	if len(c.Relays) != 1 || c.Relays[0].Nickname != "relay1" {
+		t.Fatalf("unexpected consensus: %+v", c.Relays)
+	}
+
+	// Wrong expected key must fail verification client-side.
+	other, _ := NewAuthority()
+	if _, err := FetchConsensus(clientHost, "dir:7000", other.PublicKey()); err == nil {
+		t.Fatal("consensus accepted under wrong authority key")
+	}
+
+	// Publishing garbage must be rejected by the server.
+	bad := *d
+	bad.Nickname = "tampered"
+	if err := Publish(relayHost, "dir:7000", &bad); err == nil {
+		t.Fatal("tampered descriptor accepted over the network")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	d, _ := newDesc(t, "r", nil, nil)
+	f1 := d.Fingerprint()
+	f2 := d.Fingerprint()
+	if f1 != f2 || len(f1) != 16 {
+		t.Fatalf("fingerprint unstable or wrong length: %q %q", f1, f2)
+	}
+}

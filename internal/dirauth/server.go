@@ -1,0 +1,132 @@
+package dirauth
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"net"
+
+	"github.com/bento-nfv/bento/internal/simnet"
+	"github.com/bento-nfv/bento/internal/wire"
+)
+
+// DefaultPort is the port directory authorities listen on.
+const DefaultPort = 7000
+
+type request struct {
+	Op         string      `json:"op"` // "publish" or "consensus"
+	Descriptor *Descriptor `json:"descriptor,omitempty"`
+}
+
+type response struct {
+	OK        bool       `json:"ok"`
+	Error     string     `json:"error,omitempty"`
+	Consensus *Consensus `json:"consensus,omitempty"`
+}
+
+// Server exposes an Authority over the emulated network.
+type Server struct {
+	auth *Authority
+	ln   net.Listener
+}
+
+// Serve starts a directory server on the given host. It returns once the
+// listener is accepting.
+func Serve(host *simnet.Host, auth *Authority) (*Server, error) {
+	ln, err := host.Listen(DefaultPort)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{auth: auth, ln: ln}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.ln.Close() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req request
+		if err := wire.ReadJSON(conn, &req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Op {
+		case "publish":
+			if err := s.auth.Publish(req.Descriptor); err != nil {
+				resp.Error = err.Error()
+			} else {
+				resp.OK = true
+			}
+		case "consensus":
+			c, err := s.auth.Consensus()
+			if err != nil {
+				resp.Error = err.Error()
+			} else {
+				resp.OK = true
+				resp.Consensus = c
+			}
+		default:
+			resp.Error = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := wire.WriteJSON(conn, &resp); err != nil {
+			return
+		}
+	}
+}
+
+// Publish sends a descriptor to the directory server at dirAddr from the
+// given host.
+func Publish(host *simnet.Host, dirAddr string, d *Descriptor) error {
+	conn, err := host.Dial(dirAddr)
+	if err != nil {
+		return fmt.Errorf("dirauth: dialing authority: %w", err)
+	}
+	defer conn.Close()
+	if err := wire.WriteJSON(conn, &request{Op: "publish", Descriptor: d}); err != nil {
+		return err
+	}
+	var resp response
+	if err := wire.ReadJSON(conn, &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("dirauth: publish rejected: %s", resp.Error)
+	}
+	return nil
+}
+
+// FetchConsensus retrieves and verifies the consensus from dirAddr.
+// authority is the expected consensus-signing key.
+func FetchConsensus(host *simnet.Host, dirAddr string, authority ed25519.PublicKey) (*Consensus, error) {
+	conn, err := host.Dial(dirAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dirauth: dialing authority: %w", err)
+	}
+	defer conn.Close()
+	if err := wire.WriteJSON(conn, &request{Op: "consensus"}); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := wire.ReadJSON(conn, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK || resp.Consensus == nil {
+		return nil, fmt.Errorf("dirauth: consensus fetch failed: %s", resp.Error)
+	}
+	if err := resp.Consensus.Verify(authority); err != nil {
+		return nil, err
+	}
+	return resp.Consensus, nil
+}

@@ -1,0 +1,240 @@
+package enclave
+
+import (
+	"bytes"
+	"crypto/rand"
+	"net"
+	"testing"
+
+	"github.com/bento-nfv/bento/internal/otr"
+)
+
+func newPlatformAndIAS(t *testing.T, tcb int) (*Platform, *AttestationService) {
+	t.Helper()
+	p, err := NewPlatform(tcb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias, err := NewAttestationService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(p.QuotingKey())
+	return p, ias
+}
+
+func TestMeasurementDeterministic(t *testing.T) {
+	img := []byte("bento-python-image-v1")
+	if Measure(img) != Measure(img) {
+		t.Fatal("measurement not deterministic")
+	}
+	if Measure(img) == Measure([]byte("other")) {
+		t.Fatal("different images share a measurement")
+	}
+}
+
+func TestAttestationFlow(t *testing.T) {
+	p, ias := newPlatformAndIAS(t, MinTCBVersion)
+	img := []byte("bento server image")
+	e, err := p.Launch(img, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+
+	nonce := make([]byte, 16)
+	rand.Read(nonce)
+	q, err := e.GenerateQuote(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := ias.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK {
+		t.Fatalf("report not OK: %s", report.Reason)
+	}
+	if err := CheckReport(report, ias.PublicKey(), Measure(img), nonce); err != nil {
+		t.Fatalf("CheckReport: %v", err)
+	}
+}
+
+func TestAttestationRejectsWrongMeasurement(t *testing.T) {
+	p, ias := newPlatformAndIAS(t, MinTCBVersion)
+	e, _ := p.Launch([]byte("genuine image"), 1<<20)
+	defer e.Destroy()
+	nonce := []byte("n")
+	q, _ := e.GenerateQuote(nonce)
+	report, _ := ias.Verify(q)
+	if err := CheckReport(report, ias.PublicKey(), Measure([]byte("expected image")), nonce); err == nil {
+		t.Fatal("wrong measurement accepted")
+	}
+}
+
+func TestAttestationRejectsStaleTCB(t *testing.T) {
+	p, ias := newPlatformAndIAS(t, MinTCBVersion-1) // unpatched platform
+	e, _ := p.Launch([]byte("img"), 1<<20)
+	defer e.Destroy()
+	q, _ := e.GenerateQuote([]byte("n"))
+	report, err := ias.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK {
+		t.Fatal("stale TCB attested OK")
+	}
+	if err := CheckReport(report, ias.PublicKey(), Measure([]byte("img")), []byte("n")); err == nil {
+		t.Fatal("client accepted stale-TCB report")
+	}
+}
+
+func TestAttestationRejectsUnknownPlatform(t *testing.T) {
+	p, _ := NewPlatform(MinTCBVersion)
+	ias, _ := NewAttestationService() // platform never registered
+	e, _ := p.Launch([]byte("img"), 1<<20)
+	defer e.Destroy()
+	q, _ := e.GenerateQuote([]byte("n"))
+	report, _ := ias.Verify(q)
+	if report.OK {
+		t.Fatal("unregistered platform attested OK")
+	}
+}
+
+func TestAttestationRejectsTamperedQuote(t *testing.T) {
+	p, ias := newPlatformAndIAS(t, MinTCBVersion)
+	e, _ := p.Launch([]byte("img"), 1<<20)
+	defer e.Destroy()
+	q, _ := e.GenerateQuote([]byte("n"))
+	q.TCBVersion = 99 // forge a better TCB
+	report, _ := ias.Verify(q)
+	if report.OK {
+		t.Fatal("tampered quote attested OK")
+	}
+}
+
+func TestAttestationRejectsReplayedNonce(t *testing.T) {
+	p, ias := newPlatformAndIAS(t, MinTCBVersion)
+	e, _ := p.Launch([]byte("img"), 1<<20)
+	defer e.Destroy()
+	q, _ := e.GenerateQuote([]byte("old-nonce"))
+	report, _ := ias.Verify(q)
+	if err := CheckReport(report, ias.PublicKey(), Measure([]byte("img")), []byte("fresh-nonce")); err == nil {
+		t.Fatal("replayed quote accepted")
+	}
+}
+
+func TestCheckReportRejectsForgedReport(t *testing.T) {
+	p, ias := newPlatformAndIAS(t, MinTCBVersion)
+	e, _ := p.Launch([]byte("img"), 1<<20)
+	defer e.Destroy()
+	q, _ := e.GenerateQuote([]byte("n"))
+	report, _ := ias.Verify(q)
+	otherIAS, _ := NewAttestationService()
+	if err := CheckReport(report, otherIAS.PublicKey(), Measure([]byte("img")), []byte("n")); err == nil {
+		t.Fatal("report verified under wrong IAS key")
+	}
+	// Forging a failing report's verdict must break the IAS signature.
+	badPlatform, _ := NewPlatform(MinTCBVersion - 1)
+	ias.RegisterPlatform(badPlatform.QuotingKey())
+	be, _ := badPlatform.Launch([]byte("img"), 1<<20)
+	defer be.Destroy()
+	bq, _ := be.GenerateQuote([]byte("n"))
+	badReport, _ := ias.Verify(bq)
+	if badReport.OK {
+		t.Fatal("stale-TCB report unexpectedly OK")
+	}
+	badReport.OK = true
+	badReport.Reason = ""
+	if err := CheckReport(badReport, ias.PublicKey(), Measure([]byte("img")), []byte("n")); err == nil {
+		t.Fatal("tampered report accepted")
+	}
+}
+
+func TestEPCAccounting(t *testing.T) {
+	p, _ := newPlatformAndIAS(t, MinTCBVersion)
+	var enclaves []*Enclave
+	// 93 MB usable: three 30 MB enclaves fit, a fourth does not.
+	for i := 0; i < 3; i++ {
+		e, err := p.Launch([]byte{byte(i)}, 30<<20)
+		if err != nil {
+			t.Fatalf("enclave %d: %v", i, err)
+		}
+		enclaves = append(enclaves, e)
+	}
+	if _, err := p.Launch([]byte("one too many"), 30<<20); err == nil {
+		t.Fatal("EPC oversubscription allowed")
+	}
+	// Destroying one frees room.
+	enclaves[0].Destroy()
+	if _, err := p.Launch([]byte("replacement"), 30<<20); err != nil {
+		t.Fatalf("EPC not reclaimed: %v", err)
+	}
+	enclaves[0].Destroy() // double destroy is a no-op
+	if _, err := p.Launch([]byte("x"), 0); err == nil {
+		t.Fatal("zero-size enclave accepted")
+	}
+}
+
+// TestAttestedChannel binds an otr secure channel to an attested enclave
+// key: the client verifies the report, extracts the channel key, and
+// dials; a MITM with a different key cannot complete the handshake.
+func TestAttestedChannel(t *testing.T) {
+	p, ias := newPlatformAndIAS(t, MinTCBVersion)
+	img := []byte("function loader image")
+	e, err := p.Launch(img, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+
+	nonce := []byte("challenge-1")
+	q, _ := e.GenerateQuote(nonce)
+	report, _ := ias.Verify(q)
+	if err := CheckReport(report, ias.PublicKey(), Measure(img), nonce); err != nil {
+		t.Fatal(err)
+	}
+
+	cc, sc := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		ch, err := otr.AcceptChannel(sc, e.Key())
+		if err != nil {
+			done <- err
+			return
+		}
+		msg, err := ch.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- ch.Send(append([]byte("echo:"), msg...))
+	}()
+
+	ch, err := otr.DialChannel(cc, report.Quote.ChannelKey)
+	if err != nil {
+		t.Fatalf("attested dial: %v", err)
+	}
+	if err := ch.Send([]byte("function code")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("echo:function code")) {
+		t.Fatalf("got %q", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// A MITM enclave with a different key cannot impersonate.
+	mitm, _ := p.Launch([]byte("evil"), 1<<20)
+	defer mitm.Destroy()
+	cc2, sc2 := net.Pipe()
+	go otr.AcceptChannel(sc2, mitm.Key())
+	if _, err := otr.DialChannel(cc2, report.Quote.ChannelKey); err == nil {
+		t.Fatal("MITM channel succeeded")
+	}
+}

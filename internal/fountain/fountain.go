@@ -1,0 +1,276 @@
+// Package fountain implements the k-of-N linear erasure coding behind the
+// Shard function (§9.3): a file is split into k source blocks and encoded
+// into N coded shards over GF(256) such that any k shards reconstruct the
+// file ("digital fountain approach ... standard linear encoding
+// techniques").
+package fountain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// GF(256) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11B),
+// using log/exp tables built at init.
+var (
+	gfExp [512]byte
+	gfLog [256]int
+)
+
+func init() {
+	// 3 generates the multiplicative group under 0x11B (2 does not: its
+	// order is only 51), so step by multiplying by 3: x = x ^ (x<<1).
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x ^= x << 1
+		if x&0x100 != 0 {
+			x ^= 0x11B
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("fountain: inverse of zero")
+	}
+	return gfExp[255-gfLog[a]]
+}
+
+// Shard is one coded piece of a file.
+type Shard struct {
+	// K is the number of shards needed to reconstruct.
+	K int
+	// Length is the original file length in bytes.
+	Length int
+	// Coeffs is this shard's row of the generator matrix (length K).
+	Coeffs []byte
+	// Data is the coded block.
+	Data []byte
+}
+
+// Marshal serializes a shard for storage (e.g. in a Dropbox).
+func (s *Shard) Marshal() []byte {
+	out := make([]byte, 12+len(s.Coeffs)+len(s.Data))
+	binary.BigEndian.PutUint32(out[0:4], uint32(s.K))
+	binary.BigEndian.PutUint32(out[4:8], uint32(s.Length))
+	binary.BigEndian.PutUint32(out[8:12], uint32(len(s.Coeffs)))
+	copy(out[12:], s.Coeffs)
+	copy(out[12+len(s.Coeffs):], s.Data)
+	return out
+}
+
+// UnmarshalShard parses a serialized shard.
+func UnmarshalShard(b []byte) (*Shard, error) {
+	if len(b) < 12 {
+		return nil, errors.New("fountain: shard too short")
+	}
+	k := int(binary.BigEndian.Uint32(b[0:4]))
+	length := int(binary.BigEndian.Uint32(b[4:8]))
+	nc := int(binary.BigEndian.Uint32(b[8:12]))
+	if k <= 0 || nc != k || len(b) < 12+nc {
+		return nil, fmt.Errorf("fountain: malformed shard header (k=%d nc=%d)", k, nc)
+	}
+	return &Shard{
+		K:      k,
+		Length: length,
+		Coeffs: append([]byte(nil), b[12:12+nc]...),
+		Data:   append([]byte(nil), b[12+nc:]...),
+	}, nil
+}
+
+// Encode splits data into k source blocks and produces n coded shards
+// such that any k of them reconstruct data. The first k shards are
+// systematic (identity rows); the rest use random coefficients drawn from
+// rng (pass a seeded source for reproducibility; nil uses a fixed seed).
+func Encode(data []byte, k, n int, rng *rand.Rand) ([]*Shard, error) {
+	if k <= 0 || n < k {
+		return nil, fmt.Errorf("fountain: invalid parameters k=%d n=%d (need 1 ≤ k ≤ n)", k, n)
+	}
+	if k > 255 {
+		return nil, fmt.Errorf("fountain: k=%d exceeds GF(256) field bound", k)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	blockLen := (len(data) + k - 1) / k
+	if blockLen == 0 {
+		blockLen = 1
+	}
+	blocks := make([][]byte, k)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockLen)
+		start := i * blockLen
+		if start < len(data) {
+			end := start + blockLen
+			if end > len(data) {
+				end = len(data)
+			}
+			copy(blocks[i], data[start:end])
+		}
+	}
+
+	shards := make([]*Shard, 0, n)
+	for i := 0; i < n; i++ {
+		coeffs := make([]byte, k)
+		if i < k {
+			coeffs[i] = 1 // systematic prefix
+		} else {
+			for j := range coeffs {
+				coeffs[j] = byte(rng.Intn(256))
+			}
+			// Avoid an all-zero row, which carries no information.
+			allZero := true
+			for _, c := range coeffs {
+				if c != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				coeffs[i%k] = 1
+			}
+		}
+		shards = append(shards, &Shard{
+			K:      k,
+			Length: len(data),
+			Coeffs: coeffs,
+			Data:   combine(blocks, coeffs, blockLen),
+		})
+	}
+	return shards, nil
+}
+
+// combine computes the GF(256) linear combination of blocks with coeffs.
+func combine(blocks [][]byte, coeffs []byte, blockLen int) []byte {
+	out := make([]byte, blockLen)
+	for bi, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		block := blocks[bi]
+		if c == 1 {
+			for i := range out {
+				out[i] ^= block[i]
+			}
+			continue
+		}
+		lc := gfLog[c]
+		for i, v := range block {
+			if v != 0 {
+				out[i] ^= gfExp[lc+gfLog[v]]
+			}
+		}
+	}
+	return out
+}
+
+// Decode reconstructs the original data from any k (or more) shards by
+// Gaussian elimination over GF(256). It fails if the provided shards do
+// not span the source space.
+func Decode(shards []*Shard) ([]byte, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("fountain: no shards")
+	}
+	k := shards[0].K
+	length := shards[0].Length
+	blockLen := len(shards[0].Data)
+	for _, s := range shards {
+		if s.K != k || s.Length != length || len(s.Data) != blockLen || len(s.Coeffs) != k {
+			return nil, errors.New("fountain: inconsistent shards")
+		}
+	}
+	if len(shards) < k {
+		return nil, fmt.Errorf("fountain: need %d shards, have %d", k, len(shards))
+	}
+
+	// Build the augmented matrix [coeffs | data] and eliminate.
+	rows := len(shards)
+	mat := make([][]byte, rows)
+	dat := make([][]byte, rows)
+	for i, s := range shards {
+		mat[i] = append([]byte(nil), s.Coeffs...)
+		dat[i] = append([]byte(nil), s.Data...)
+	}
+
+	for col, row := 0, 0; col < k && row < rows; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := row; r < rows; r++ {
+			if mat[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("fountain: shards do not span block %d (rank deficient)", col)
+		}
+		mat[row], mat[pivot] = mat[pivot], mat[row]
+		dat[row], dat[pivot] = dat[pivot], dat[row]
+
+		// Normalize the pivot row.
+		inv := gfInv(mat[row][col])
+		scaleRow(mat[row], dat[row], inv)
+		// Eliminate the column from all other rows.
+		for r := 0; r < rows; r++ {
+			if r != row && mat[r][col] != 0 {
+				addScaledRow(mat[r], dat[r], mat[row], dat[row], mat[r][col])
+			}
+		}
+		row++
+	}
+
+	// Verify full rank: row i must now be the i-th identity row.
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if mat[i][j] != want {
+				return nil, errors.New("fountain: shards do not span the source space")
+			}
+		}
+	}
+
+	out := make([]byte, 0, k*blockLen)
+	for i := 0; i < k; i++ {
+		out = append(out, dat[i]...)
+	}
+	if length > len(out) {
+		return nil, errors.New("fountain: corrupt length header")
+	}
+	return out[:length], nil
+}
+
+func scaleRow(coeffs, data []byte, c byte) {
+	for i := range coeffs {
+		coeffs[i] = gfMul(coeffs[i], c)
+	}
+	for i := range data {
+		data[i] = gfMul(data[i], c)
+	}
+}
+
+// addScaledRow: target += c * source.
+func addScaledRow(tc, td, sc, sd []byte, c byte) {
+	for i := range tc {
+		tc[i] ^= gfMul(sc[i], c)
+	}
+	for i := range td {
+		td[i] ^= gfMul(sd[i], c)
+	}
+}

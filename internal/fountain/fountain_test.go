@@ -1,0 +1,247 @@
+package fountain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldProperties(t *testing.T) {
+	// The log table must be a bijection over 1..255 (catches a
+	// non-generator base: 2 has order 51 under 0x11B).
+	seen := make(map[int]bool)
+	for x := 1; x < 256; x++ {
+		if x != 1 && gfLog[x] == 0 {
+			t.Fatalf("gfLog[%d] = 0: log table not filled (bad generator)", x)
+		}
+		if seen[gfLog[x]] {
+			t.Fatalf("duplicate log value %d", gfLog[x])
+		}
+		seen[gfLog[x]] = true
+	}
+	// Multiplicative inverses.
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+	}
+	// Distributivity on a sample.
+	for a := 1; a < 256; a += 17 {
+		for b := 1; b < 256; b += 13 {
+			for c := 1; c < 256; c += 31 {
+				left := gfMul(byte(a), byte(b)^byte(c))
+				right := gfMul(byte(a), byte(b)) ^ gfMul(byte(a), byte(c))
+				if left != right {
+					t.Fatalf("distributivity fails at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+	if gfMul(0, 123) != 0 || gfMul(123, 0) != 0 {
+		t.Fatal("multiplication by zero broken")
+	}
+}
+
+func TestSystematicRoundTrip(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	shards, err := Encode(data, 4, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 7 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	// The first k shards alone reconstruct (systematic prefix).
+	got, err := Decode(shards[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("systematic decode mismatch")
+	}
+}
+
+func TestAnyKOfNReconstructs(t *testing.T) {
+	data := bytes.Repeat([]byte("shard me please "), 100)
+	const k, n = 3, 6
+	shards, err := Encode(data, k, n, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every k-subset of the n shards must reconstruct.
+	var idx [k]int
+	var recurse func(start, depth int)
+	failures := 0
+	recurse = func(start, depth int) {
+		if depth == k {
+			subset := make([]*Shard, k)
+			for i, j := range idx {
+				subset[i] = shards[j]
+			}
+			got, err := Decode(subset)
+			if err != nil || !bytes.Equal(got, data) {
+				failures++
+				t.Errorf("subset %v failed: %v", idx, err)
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			recurse(i+1, depth+1)
+		}
+	}
+	recurse(0, 0)
+	if failures > 0 {
+		t.Fatalf("%d subsets failed", failures)
+	}
+}
+
+func TestFewerThanKNeverReconstructs(t *testing.T) {
+	data := bytes.Repeat([]byte("secret"), 50)
+	shards, err := Encode(data, 4, 8, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for take := 1; take < 4; take++ {
+		if _, err := Decode(shards[:take]); err == nil {
+			t.Fatalf("reconstructed from %d < k shards", take)
+		}
+	}
+}
+
+func TestReplicationCase(t *testing.T) {
+	// k=1 degenerates to replication: every shard alone reconstructs.
+	data := []byte("replicate me")
+	shards, err := Encode(data, 1, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shards {
+		got, err := Decode([]*Shard{s})
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("replica %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	data := []byte("serialize this across a dropbox")
+	shards, _ := Encode(data, 3, 5, nil)
+	var back []*Shard
+	for _, s := range shards[1:4] {
+		b := s.Marshal()
+		s2, err := UnmarshalShard(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back = append(back, s2)
+	}
+	got, err := Decode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("marshal round trip decode mismatch")
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	for _, b := range [][]byte{nil, {1, 2}, make([]byte, 12), append(make([]byte, 12), 1)} {
+		if _, err := UnmarshalShard(b); err == nil {
+			t.Errorf("malformed shard %v accepted", b)
+		}
+	}
+}
+
+func TestEncodeParameterValidation(t *testing.T) {
+	data := []byte("x")
+	cases := []struct{ k, n int }{{0, 5}, {3, 2}, {-1, 1}, {300, 300}}
+	for _, c := range cases {
+		if _, err := Encode(data, c.k, c.n, nil); err == nil {
+			t.Errorf("Encode(k=%d,n=%d) accepted", c.k, c.n)
+		}
+	}
+}
+
+func TestEmptyAndTinyData(t *testing.T) {
+	for _, data := range [][]byte{{}, {42}, []byte("ab")} {
+		shards, err := Encode(data, 3, 5, nil)
+		if err != nil {
+			t.Fatalf("Encode(%d bytes): %v", len(data), err)
+		}
+		got, err := Decode(shards[2:5])
+		if err != nil {
+			t.Fatalf("Decode(%d bytes): %v", len(data), err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%d-byte round trip mismatch", len(data))
+		}
+	}
+}
+
+func TestInconsistentShardsRejected(t *testing.T) {
+	a, _ := Encode([]byte("first file contents"), 3, 4, nil)
+	b, _ := Encode([]byte("second, longer file contents here"), 3, 4, nil)
+	if _, err := Decode([]*Shard{a[0], a[1], b[2]}); err == nil {
+		t.Fatal("mixed-file shards accepted")
+	}
+}
+
+// Property: random data, random valid (k, n), any k-subset reconstructs.
+func TestFountainProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func(data []byte, kSeed, nSeed uint8) bool {
+		k := int(kSeed%5) + 1
+		n := k + int(nSeed%4)
+		shards, err := Encode(data, k, n, rng)
+		if err != nil {
+			return false
+		}
+		// Random k-subset.
+		perm := rng.Perm(n)[:k]
+		subset := make([]*Shard, k)
+		for i, j := range perm {
+			subset[i] = shards[j]
+		}
+		got, err := Decode(subset)
+		if err != nil {
+			// Random coefficient rows can be linearly dependent with tiny
+			// probability; tolerate by retrying with the systematic prefix.
+			got, err = Decode(shards[:k])
+			if err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode1MB(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(data, 4, 8, rand.New(rand.NewSource(2))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode1MB(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	shards, _ := Encode(data, 4, 8, rand.New(rand.NewSource(2)))
+	subset := shards[4:8] // force non-systematic decode
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(subset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

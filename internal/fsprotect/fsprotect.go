@@ -1,0 +1,176 @@
+// Package fsprotect implements FS Protect (§5.4): an encrypted,
+// integrity-protected in-memory filesystem whose contents are sealed under
+// an ephemeral key generated at launch. Everything a function writes is
+// AEAD-encrypted before it reaches the "disk" map, so a Bento operator
+// inspecting storage sees only ciphertext — the paper's basis for operator
+// plausible deniability against abusive content.
+package fsprotect
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned for missing paths.
+var ErrNotFound = errors.New("fsprotect: file not found")
+
+// FS is an encrypted filesystem instance. The zero value is not usable;
+// construct with New.
+type FS struct {
+	aead cipher.AEAD
+
+	mu    sync.Mutex
+	files map[string][]byte // path -> nonce || ciphertext
+	used  int64
+	limit int64
+}
+
+// New creates a filesystem sealed under a fresh ephemeral key. limit
+// bounds total ciphertext bytes (0 = 64 MiB).
+func New(limit int64) (*FS, error) {
+	key := make([]byte, 16)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	return NewWithKey(key, limit)
+}
+
+// NewWithKey creates a filesystem under a caller-provided 16-byte key
+// (used by tests and by conclave migration).
+func NewWithKey(key []byte, limit int64) (*FS, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("fsprotect: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if limit <= 0 {
+		limit = 64 << 20
+	}
+	return &FS{aead: aead, files: make(map[string][]byte), limit: limit}, nil
+}
+
+// Write stores data at path, encrypting it. Paths are normalized to a
+// chroot-style namespace: ".." components are rejected.
+func (fs *FS) Write(path string, data []byte) error {
+	p, err := clean(path)
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, fs.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	ct := fs.aead.Seal(nil, nonce, data, []byte(p))
+	blob := append(nonce, ct...)
+
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	old := int64(len(fs.files[p]))
+	if fs.used-old+int64(len(blob)) > fs.limit {
+		return fmt.Errorf("fsprotect: storage limit exceeded (%d bytes)", fs.limit)
+	}
+	fs.used += int64(len(blob)) - old
+	fs.files[p] = blob
+	return nil
+}
+
+// Read decrypts and returns the contents at path.
+func (fs *FS) Read(path string) ([]byte, error) {
+	p, err := clean(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	blob, ok := fs.files[p]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	ns := fs.aead.NonceSize()
+	if len(blob) < ns {
+		return nil, fmt.Errorf("fsprotect: corrupt blob at %s", p)
+	}
+	pt, err := fs.aead.Open(nil, blob[:ns], blob[ns:], []byte(p))
+	if err != nil {
+		return nil, fmt.Errorf("fsprotect: decrypting %s: %w", p, err)
+	}
+	return pt, nil
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(path string) error {
+	p, err := clean(path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	blob, ok := fs.files[p]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	fs.used -= int64(len(blob))
+	delete(fs.files, p)
+	return nil
+}
+
+// List returns the stored paths (names only — metadata is not sealed,
+// matching how an encrypted filesystem leaks its namespace shape).
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Used reports total ciphertext bytes stored.
+func (fs *FS) Used() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.used
+}
+
+// RawCiphertext exposes the encrypted blob for a path — what an operator
+// inspecting the disk would see. Tests use it to verify that plaintext
+// never appears in storage.
+func (fs *FS) RawCiphertext(path string) ([]byte, bool) {
+	p, err := clean(path)
+	if err != nil {
+		return nil, false
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	blob, ok := fs.files[p]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), blob...), true
+}
+
+// clean normalizes a path and rejects escapes from the chroot namespace.
+func clean(path string) (string, error) {
+	path = strings.TrimPrefix(path, "/")
+	if path == "" {
+		return "", errors.New("fsprotect: empty path")
+	}
+	parts := strings.Split(path, "/")
+	for _, part := range parts {
+		if part == ".." || part == "." || part == "" {
+			return "", fmt.Errorf("fsprotect: invalid path %q", path)
+		}
+	}
+	return strings.Join(parts, "/"), nil
+}

@@ -1,0 +1,168 @@
+package fsprotect
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("function state: secret dropbox contents")
+	if err := fs.Write("/drop/file1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("drop/file1") // leading slash optional
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	fs, _ := New(0)
+	secret := []byte("ABUSIVE-CONTENT-MARKER-1234567890")
+	fs.Write("f", secret)
+	blob, ok := fs.RawCiphertext("f")
+	if !ok {
+		t.Fatal("no raw blob")
+	}
+	if bytes.Contains(blob, secret) {
+		t.Fatal("plaintext visible in storage")
+	}
+	for i := 0; i+8 <= len(secret); i += 4 {
+		if bytes.Contains(blob, secret[i:i+8]) {
+			t.Fatal("plaintext fragment visible in storage")
+		}
+	}
+}
+
+func TestEphemeralKeysDiffer(t *testing.T) {
+	a, _ := New(0)
+	b, _ := New(0)
+	a.Write("f", []byte("same content"))
+	b.Write("f", []byte("same content"))
+	ba, _ := a.RawCiphertext("f")
+	bb, _ := b.RawCiphertext("f")
+	if bytes.Equal(ba, bb) {
+		t.Fatal("two instances produced identical ciphertext (shared key?)")
+	}
+}
+
+func TestWrongKeyCannotDecrypt(t *testing.T) {
+	key1 := bytes.Repeat([]byte{1}, 16)
+	key2 := bytes.Repeat([]byte{2}, 16)
+	a, _ := NewWithKey(key1, 0)
+	a.Write("f", []byte("sealed"))
+	blob, _ := a.RawCiphertext("f")
+
+	b, _ := NewWithKey(key2, 0)
+	b.mu.Lock()
+	b.files["f"] = blob
+	b.mu.Unlock()
+	if _, err := b.Read("f"); err == nil {
+		t.Fatal("wrong key decrypted data")
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	fs, _ := New(0)
+	fs.Write("f", []byte("integrity matters"))
+	fs.mu.Lock()
+	fs.files["f"][len(fs.files["f"])-1] ^= 1
+	fs.mu.Unlock()
+	if _, err := fs.Read("f"); err == nil {
+		t.Fatal("tampered ciphertext decrypted")
+	}
+}
+
+func TestPathBinding(t *testing.T) {
+	// Moving a blob to another path must fail decryption (path is AAD).
+	fs, _ := New(0)
+	fs.Write("a", []byte("bound to a"))
+	blob, _ := fs.RawCiphertext("a")
+	fs.mu.Lock()
+	fs.files["b"] = blob
+	fs.mu.Unlock()
+	if _, err := fs.Read("b"); err == nil {
+		t.Fatal("blob replayed under different path")
+	}
+}
+
+func TestRemoveAndNotFound(t *testing.T) {
+	fs, _ := New(0)
+	fs.Write("f", []byte("x"))
+	if err := fs.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	if err := fs.Remove("f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remove missing: %v", err)
+	}
+	if fs.Used() != 0 {
+		t.Fatalf("Used = %d after removal", fs.Used())
+	}
+}
+
+func TestStorageLimit(t *testing.T) {
+	fs, _ := New(1024)
+	if err := fs.Write("big", make([]byte, 2048)); err == nil {
+		t.Fatal("over-limit write accepted")
+	}
+	if err := fs.Write("ok", make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting reuses the old allocation.
+	if err := fs.Write("ok", make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	fs, _ := New(0)
+	for _, p := range []string{"", "/", "../etc/passwd", "a/../b", "a//b", "./x"} {
+		if err := fs.Write(p, []byte("x")); err == nil {
+			t.Errorf("path %q accepted", p)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	fs, _ := New(0)
+	fs.Write("b", []byte("1"))
+	fs.Write("a/c", []byte("2"))
+	got := fs.List()
+	if len(got) != 2 || got[0] != "a/c" || got[1] != "b" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+// Property: any path/data pair round-trips and never leaks >7-byte
+// plaintext windows into ciphertext.
+func TestRoundTripProperty(t *testing.T) {
+	fs, _ := New(0)
+	i := 0
+	check := func(data []byte) bool {
+		i++
+		p := "f" + string(rune('0'+i%10))
+		if err := fs.Write(p, data); err != nil {
+			return false
+		}
+		got, err := fs.Read(p)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

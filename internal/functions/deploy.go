@@ -1,0 +1,88 @@
+package functions
+
+import (
+	"fmt"
+
+	"github.com/bento-nfv/bento/internal/bento"
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/policy"
+)
+
+// DefaultManifest returns a manifest requesting the calls the standard
+// function library needs. Callers shrink it to least privilege where
+// possible.
+func DefaultManifest(name, image string) *policy.Manifest {
+	return &policy.Manifest{
+		Name:  name,
+		Image: image,
+		Calls: []string{
+			"tor.send", "fs.read", "fs.write", "net.dial",
+			"stem.create_circuit", "stem.launch_hs", "stem.close_circuit",
+			"bento.compose", "clock.now", "clock.sleep",
+		},
+		Memory:       32 << 20,
+		Instructions: 50_000_000,
+		Storage:      64 << 20,
+	}
+}
+
+// Deploy spawns a container on an established connection and uploads
+// source, returning the ready function.
+func Deploy(conn *bento.Conn, man *policy.Manifest, source string) (*bento.Function, error) {
+	fn, err := conn.Spawn(man)
+	if err != nil {
+		return nil, fmt.Errorf("functions: spawn %s: %w", man.Name, err)
+	}
+	if err := fn.Upload(source); err != nil {
+		fn.Shutdown()
+		return nil, fmt.Errorf("functions: upload %s: %w", man.Name, err)
+	}
+	return fn, nil
+}
+
+// Browse runs the full Browser flow of Figure 1 against a Bento node:
+// install the function, invoke it for the URL with the given padding
+// target, and return the (compressed, padded) payload.
+func Browse(cli *bento.Client, node *dirauth.Descriptor, url string, padding int) ([]byte, error) {
+	conn, err := cli.Connect(node)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	man := DefaultManifest("browser", "python")
+	man.Calls = []string{"net.dial", "tor.send"} // least privilege
+	fn, err := Deploy(conn, man, BrowserSource)
+	if err != nil {
+		return nil, err
+	}
+	defer fn.Shutdown()
+	out, _, err := fn.Invoke("browser", interp.Str(url), interp.Int(padding))
+	return out, err
+}
+
+// BrowseSGX is Browse inside the Python-OP-SGX image: the function code
+// is sealed to the attested container enclave.
+func BrowseSGX(cli *bento.Client, node *dirauth.Descriptor, url string, padding int) ([]byte, error) {
+	conn, err := cli.Connect(node)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	man := DefaultManifest("browser", "python-op-sgx")
+	man.Calls = []string{"net.dial", "tor.send"}
+	fn, err := Deploy(conn, man, BrowserSource)
+	if err != nil {
+		return nil, err
+	}
+	defer fn.Shutdown()
+	out, _, err := fn.Invoke("browser", interp.Str(url), interp.Int(padding))
+	return out, err
+}
+
+// UnpadBrowser recovers the page bytes from a Browser response by
+// zlib-decompressing the prefix (the padding is appended after the
+// compressed stream, which is self-terminating).
+func UnpadBrowser(payload []byte) ([]byte, error) {
+	return zlibDecompressPrefix(payload)
+}

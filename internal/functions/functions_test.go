@@ -1,0 +1,489 @@
+package functions_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/hs"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+func newWorld(t *testing.T, relays, bentoNodes int, sites ...*webfarm.Site) *testbed.World {
+	t.Helper()
+	w, err := testbed.New(testbed.Config{
+		Relays:     relays,
+		BentoNodes: bentoNodes,
+		Sites:      sites,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestBrowserFunction(t *testing.T) {
+	site := webfarm.NamedSite("news.web", 8000, []int{12000, 5000})
+	w := newWorld(t, 5, 1, site)
+	cli := w.NewBentoClient("alice", 1)
+
+	const padding = 64 * 1024
+	payload, err := functions.Browse(cli, w.BentoNode(0), "news.web", padding)
+	if err != nil {
+		t.Fatalf("Browse: %v", err)
+	}
+	if len(payload)%padding != 0 {
+		t.Fatalf("payload %d bytes not a multiple of padding %d", len(payload), padding)
+	}
+	page, err := functions.UnpadBrowser(payload)
+	if err != nil {
+		t.Fatalf("UnpadBrowser: %v", err)
+	}
+	if len(page) != site.TotalSize() {
+		t.Fatalf("page %d bytes, want %d", len(page), site.TotalSize())
+	}
+	// The delivered page matches a direct fetch.
+	direct, err := webfarm.FetchPage(w.Net.Host("news.web").Dial, "news.web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page, direct) {
+		t.Fatal("Browser-delivered page differs from direct fetch")
+	}
+}
+
+func TestBrowserSGX(t *testing.T) {
+	site := webfarm.NamedSite("bank.web", 4000, []int{3000})
+	w := newWorld(t, 5, 1, site)
+	cli := w.NewBentoClient("alice", 2)
+	payload, err := functions.BrowseSGX(cli, w.BentoNode(0), "bank.web", 32*1024)
+	if err != nil {
+		t.Fatalf("BrowseSGX: %v", err)
+	}
+	page, err := functions.UnpadBrowser(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != site.TotalSize() {
+		t.Fatalf("page %d bytes, want %d", len(page), site.TotalSize())
+	}
+}
+
+func TestBrowserRespectsExitPolicyFilter(t *testing.T) {
+	// A site that exists but is not reachable because no relay has it
+	// in its exit policy is not the case here (accept *:*), so instead
+	// verify unknown hosts error cleanly through the function.
+	w := newWorld(t, 4, 1)
+	cli := w.NewBentoClient("alice", 3)
+	if _, err := functions.Browse(cli, w.BentoNode(0), "no-such-site.web", 1024); err == nil {
+		t.Fatal("browse to unreachable site succeeded")
+	}
+}
+
+func TestDropboxPutGet(t *testing.T) {
+	w := newWorld(t, 4, 1)
+	cli := w.NewBentoClient("alice", 4)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	man := functions.DefaultManifest("dropbox", "python")
+	man.Calls = []string{"fs.read", "fs.write", "tor.send"}
+	fn, err := functions.Deploy(conn, man, functions.DropboxSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+
+	data := bytes.Repeat([]byte("drop "), 2000)
+	if _, _, err := fn.Invoke("put", interp.Bytes(data)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Another user holding only the invocation token can fetch.
+	bob := w.NewBentoClient("bob", 5)
+	bconn, err := bob.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bconn.Close()
+	out, _, err := bconn.AttachFunction(fn.InvokeToken()).Invoke("get")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("dropbox round trip mismatch")
+	}
+}
+
+func TestDropboxGetLimit(t *testing.T) {
+	w := newWorld(t, 4, 1)
+	cli := w.NewBentoClient("alice", 6)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	man := functions.DefaultManifest("dropbox", "python")
+	fn, err := functions.Deploy(conn, man, functions.DropboxSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+	fn.Invoke("put", interp.Bytes([]byte("x")))
+	for i := 0; i < 16; i++ {
+		if _, res, err := fn.Invoke("get"); err != nil || res != interp.Bool(true) {
+			t.Fatalf("get %d failed: %v %v", i, res, err)
+		}
+	}
+	if _, res, _ := fn.Invoke("get"); res != interp.Bool(false) {
+		t.Fatalf("17th get returned %v, want False (bandwidth cap, §9.2)", res)
+	}
+}
+
+func TestCoverFunctionStreams(t *testing.T) {
+	w := newWorld(t, 4, 1)
+	cli := w.NewBentoClient("alice", 7)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	man := functions.DefaultManifest("cover", "python")
+	fn, err := functions.Deploy(conn, man, functions.CoverSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+
+	var chunks int
+	var total int
+	result, err := fn.InvokeStream("cover",
+		[]interp.Value{interp.Int(10000), interp.Int(100), interp.Int(498)},
+		func(p []byte) {
+			chunks++
+			total += len(p)
+		})
+	if err != nil {
+		t.Fatalf("cover: %v", err)
+	}
+	// Iteration cost includes real CPU time amplified by the clock scale,
+	// so assert a loose lower bound; rate fidelity is measured in the WF
+	// experiments at a gentler scale.
+	if chunks < 4 {
+		t.Fatalf("only %d cover bursts in 10s at 100ms intervals", chunks)
+	}
+	if sent, ok := result.(interp.Int); !ok || int(sent) != total {
+		t.Fatalf("reported %v bytes, tapped %d", result, total)
+	}
+}
+
+func TestCoverCircuitDrops(t *testing.T) {
+	w := newWorld(t, 4, 1)
+	cli := w.NewBentoClient("alice", 8)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := functions.Deploy(conn, functions.DefaultManifest("cover", "python"), functions.CoverSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+	_, cells, err := fn.Invoke("cover_circuit",
+		interp.Str("relay3"), interp.Int(9001),
+		interp.Int(10000), interp.Int(100), interp.Int(400))
+	if err != nil {
+		t.Fatalf("cover_circuit: %v", err)
+	}
+	if n, ok := cells.(interp.Int); !ok || n < 2 {
+		t.Fatalf("sent %v drop cells, want ≥2", cells)
+	}
+}
+
+func TestComposeBrowserDropbox(t *testing.T) {
+	// Figure 2: Browser delivers to a Dropbox on a second node; the
+	// client fetches later.
+	site := webfarm.NamedSite("paper.web", 6000, []int{9000})
+	w := newWorld(t, 6, 2, site)
+	cli := w.NewBentoClient("alice", 9)
+
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := functions.Deploy(conn, functions.DefaultManifest("browser+dropbox", "python"), functions.BrowserDropboxSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+
+	dropNode := w.BentoNode(1).Nickname
+	out, _, err := fn.Invoke("browse_to_dropbox",
+		interp.Str("paper.web"), interp.Int(32*1024),
+		interp.Str(dropNode), interp.Str(functions.DropboxSource))
+	if err != nil {
+		t.Fatalf("browse_to_dropbox: %v", err)
+	}
+	parts := strings.Split(string(out), ":")
+	if len(parts) != 3 || parts[0] != dropNode {
+		t.Fatalf("capability blob %q malformed", out)
+	}
+
+	// Alice was "offline"; now she fetches from the Dropbox directly.
+	dconn, err := cli.Connect(w.Consensus.Relay(parts[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dconn.Close()
+	payload, _, err := dconn.AttachFunction(parts[1]).Invoke("get")
+	if err != nil {
+		t.Fatalf("dropbox get: %v", err)
+	}
+	page, err := functions.UnpadBrowser(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != site.TotalSize() {
+		t.Fatalf("page %d bytes, want %d", len(page), site.TotalSize())
+	}
+}
+
+func TestShardAcrossNodes(t *testing.T) {
+	w := newWorld(t, 6, 2)
+	cli := w.NewBentoClient("alice", 10)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := functions.Deploy(conn, functions.DefaultManifest("shard", "python"), functions.ShardSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+
+	data := bytes.Repeat([]byte("shard payload "), 500)
+	nodes := &interp.List{}
+	for _, d := range cli.Nodes() {
+		nodes.Elems = append(nodes.Elems, interp.Str(d.Nickname))
+	}
+	locBlob, _, err := fn.Invoke("shard",
+		interp.Bytes(data), interp.Int(2), interp.Int(4),
+		nodes, interp.Str(functions.DropboxSource))
+	if err != nil {
+		t.Fatalf("shard: %v", err)
+	}
+	if n := strings.Count(string(locBlob), "|"); n != 3 {
+		t.Fatalf("expected 4 locations, got %q", locBlob)
+	}
+
+	// Reassemble from any k=2 locations (drop the first two).
+	locs := strings.Split(string(locBlob), "|")
+	partial := strings.Join(locs[2:], "|")
+	got, _, err := fn.Invoke("fetch", interp.Bytes(partial), interp.Int(2))
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("sharded data reconstruction mismatch")
+	}
+}
+
+func TestReplicaServesRendezvous(t *testing.T) {
+	// A replica holding a copied identity answers a rendezvous on the
+	// original service's behalf — the §8 mechanism in isolation.
+	w := newWorld(t, 6, 2)
+
+	// Front: launch the HS with queued introductions via a function.
+	frontCli := w.NewBentoClient("front-owner", 11)
+	fconn, err := frontCli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fconn.Close()
+	front, err := functions.Deploy(fconn, functions.DefaultManifest("front", "python"), `
+def setup():
+    identity = stem.new_identity()
+    fs.write("identity", identity)
+    h = stem.launch_hs(identity)
+    fs.write("hs_handle", str(h).encode())
+    api.send(identity)
+    return stem.service_id(identity)
+
+def next_intro():
+    h = int(fs.read("hs_handle").decode())
+    intro = stem.next_intro(h)
+    if intro == None:
+        return False
+    api.send(intro)
+    return True
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Shutdown()
+	identityBlob, sid, err := front.Invoke("setup")
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	serviceID, ok := sid.(interp.Str)
+	if !ok {
+		t.Fatalf("service id %v", sid)
+	}
+
+	// Replica on the second Bento node, initialized with the identity.
+	rconn, err := frontCli.Connect(w.BentoNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rconn.Close()
+	replica, err := functions.Deploy(rconn, functions.DefaultManifest("replica", "python"), functions.ReplicaSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Shutdown()
+	content := bytes.Repeat([]byte("replica content "), 100)
+	if _, _, err := replica.Invoke("init", interp.Bytes(identityBlob), interp.Bytes(content)); err != nil {
+		t.Fatalf("replica init: %v", err)
+	}
+
+	// A client connects to the service; the front forwards the intro to
+	// the replica, which completes the rendezvous.
+	clientTor := w.NewTorClient("visitor", 12)
+	type dialResult struct {
+		data []byte
+		err  error
+	}
+	dialDone := make(chan dialResult, 1)
+	go func() {
+		conn, err := hs.Dial(clientTor, string(serviceID))
+		if err != nil {
+			dialDone <- dialResult{err: err}
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, len(content))
+		n, _ := conn.Read(buf)
+		rest := buf[n:]
+		for len(rest) > 0 {
+			m, err := conn.Read(rest)
+			if m == 0 || err != nil {
+				break
+			}
+			rest = rest[m:]
+		}
+		dialDone <- dialResult{data: buf[:len(buf)-len(rest)]}
+	}()
+
+	// Pump introductions from the front to the replica.
+	deadline := time.After(20 * time.Second)
+	for {
+		introOut, got, err := front.Invoke("next_intro")
+		if err != nil {
+			t.Fatalf("next_intro: %v", err)
+		}
+		if got == interp.Bool(true) {
+			if _, _, err := replica.Invoke("serve", interp.Bytes(introOut)); err != nil {
+				t.Fatalf("replica serve: %v", err)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("introduction never arrived at the front")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	select {
+	case res := <-dialDone:
+		if res.err != nil {
+			t.Fatalf("client dial: %v", res.err)
+		}
+		if !bytes.Equal(res.data, content) {
+			t.Fatalf("client received %d bytes, want %d", len(res.data), len(content))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("client download never completed")
+	}
+}
+
+func TestComposedManifestWithinDefaultPolicy(t *testing.T) {
+	man := functions.ComposedManifest("python", "x")
+	w := newWorld(t, 3, 1)
+	cli := w.NewBentoClient("alice", 13)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := conn.Spawn(man)
+	if err != nil {
+		t.Fatalf("composed manifest rejected by default policy: %v", err)
+	}
+	fn.Shutdown()
+}
+
+func TestDropboxExpiry(t *testing.T) {
+	w := newWorld(t, 4, 1)
+	cli := w.NewBentoClient("alice", 14)
+	conn, err := cli.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := functions.Deploy(conn, functions.DefaultManifest("dropbox", "python"), functions.DropboxSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+
+	if _, _, err := fn.Invoke("put_ttl", interp.Bytes("ephemeral"), interp.Int(2000)); err != nil {
+		t.Fatalf("put_ttl: %v", err)
+	}
+	// Within the TTL the file is retrievable.
+	out, res, err := fn.Invoke("get")
+	if err != nil || res != interp.Bool(true) || string(out) != "ephemeral" {
+		t.Fatalf("get before expiry: %q %v %v", out, res, err)
+	}
+	// After the TTL the file is wiped on access.
+	w.Clock().Sleep(3 * time.Second)
+	if _, res, _ := fn.Invoke("get"); res != interp.Bool(false) {
+		t.Fatalf("get after expiry returned %v, want False", res)
+	}
+	// The file really is gone (no resurrected reads).
+	if _, _, err := fn.Invoke("get_named", interp.Str("nope")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+// TestAllSourcesParse is a regression net for typos in the embedded
+// bscript function sources.
+func TestAllSourcesParse(t *testing.T) {
+	sources := map[string]string{
+		"Browser":          functions.BrowserSource,
+		"BrowserDropbox":   functions.BrowserDropboxSource,
+		"Dropbox":          functions.DropboxSource,
+		"Cover":            functions.CoverSource,
+		"Shard":            functions.ShardSource,
+		"Replica":          functions.ReplicaSource,
+		"LoadBalancer":     functions.LoadBalancerSource,
+		"SingleServer":     functions.SingleServerSource,
+		"Echo":             functions.EchoSource,
+		"MultipathFetcher": functions.MultipathFetcherSource,
+	}
+	for name, src := range sources {
+		m := interp.NewMachine(interp.Limits{})
+		if err := m.Run(src); err != nil {
+			t.Errorf("%s source does not load: %v", name, err)
+		}
+	}
+}

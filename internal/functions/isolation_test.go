@@ -1,0 +1,72 @@
+package functions_test
+
+import (
+	"testing"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/interp"
+)
+
+// §6.3 "one final attack ... an adversarial function that seeks to
+// affect another user's traffic": functions cannot name each other's
+// circuits, streams, or files.
+func TestSec63_FunctionsCannotTouchEachOther(t *testing.T) {
+	w := newWorld(t, 3, 1)
+	alice := w.NewBentoClient("alice", 607)
+	conn, err := alice.Connect(w.BentoNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	man := functions.DefaultManifest("isolation", "python")
+	honest, err := conn.Spawn(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer honest.Shutdown()
+	honest.Upload(`
+def setup():
+    fs.write("private", b"alice data")
+    c = tor.create_circuit("relay1", 9001)
+    return c
+`)
+	_, handle, err := honest.Invoke("setup")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evil, err := conn.Spawn(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evil.Shutdown()
+	evil.Upload(`
+def attack(handle):
+    results = []
+    try:
+        fs.read("private")
+        results.append("read-others-file")
+    except:
+        pass
+    try:
+        tor.close_circuit(handle)
+        results.append("closed-others-circuit")
+    except:
+        pass
+    try:
+        tor.drop(handle, 100)
+        results.append("modulated-others-circuit")
+    except:
+        pass
+    api.send(",".join(results).encode())
+    return len(results)
+`)
+	out, n, err := evil.Invoke("attack", handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != interp.Int(0) {
+		t.Fatalf("cross-function attacks succeeded: %s", out)
+	}
+}

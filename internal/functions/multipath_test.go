@@ -1,0 +1,64 @@
+package functions_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+func TestMultipathFetchCorrectness(t *testing.T) {
+	site := webfarm.NamedSite("bulk.web", 10_000, []int{60_000, 40_000})
+	w := newWorld(t, 7, 3, site)
+	cli := w.NewBentoClient("alice", 40)
+
+	res, err := functions.MultipathFetch(cli, cli.Nodes(), "bulk.web", 3)
+	if err != nil {
+		t.Fatalf("MultipathFetch: %v", err)
+	}
+	direct, err := webfarm.FetchPage(w.Net.Host("bulk.web").Dial, "bulk.web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, direct) {
+		t.Fatalf("reassembled page differs from direct fetch (%d vs %d bytes)",
+			len(res.Data), len(direct))
+	}
+	if len(res.PerPath) != 3 {
+		t.Fatalf("got %d slices", len(res.PerPath))
+	}
+	// Slices partition the page (each roughly a third).
+	for i, n := range res.PerPath {
+		if n < len(direct)/4 || n > len(direct)/2 {
+			t.Errorf("slice %d has %d bytes of %d total", i, n, len(direct))
+		}
+	}
+}
+
+func TestMultipathSinglePathDegenerate(t *testing.T) {
+	site := webfarm.NamedSite("solo.web", 5_000, []int{10_000})
+	w := newWorld(t, 5, 1, site)
+	cli := w.NewBentoClient("alice", 41)
+	res, err := functions.MultipathFetch(cli, cli.Nodes(), "solo.web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Data) != site.TotalSize() {
+		t.Fatalf("got %d bytes, want %d", len(res.Data), site.TotalSize())
+	}
+}
+
+func TestMultipathValidation(t *testing.T) {
+	w := newWorld(t, 4, 1)
+	cli := w.NewBentoClient("alice", 42)
+	if _, err := functions.MultipathFetch(cli, cli.Nodes(), "x.web", 0); err == nil {
+		t.Fatal("zero paths accepted")
+	}
+	if _, err := functions.MultipathFetch(cli, nil, "x.web", 2); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+	if _, err := functions.MultipathFetch(cli, cli.Nodes(), "nonexistent.web", 2); err == nil {
+		t.Fatal("unreachable site fetch succeeded")
+	}
+}

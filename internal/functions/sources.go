@@ -1,0 +1,260 @@
+package functions
+
+// bscript source for the paper's functions. BrowserSource is a near
+// line-for-line transliteration of Appendix A; the others follow the
+// behavior described in §8 and §9.
+
+// BrowserSource fetches a URL at the exit, compresses it, pads it to a
+// multiple of `padding` bytes, and streams it back (§7, Appendix A).
+const BrowserSource = `
+def browser(url, padding):
+    # Fetch contents of site
+    body = requests.get(url)
+
+    # Compress contents
+    compressed = zlib.compress(body)
+
+    # Pad to nearest multiple of 'padding'
+    final = compressed
+    if padding > 0:
+        if padding - len(final) > 0:
+            final = final + os.urandom(padding - len(final))
+        else:
+            final = final + os.urandom(padding - (len(final) % padding))
+
+    api.send(final)
+    return len(final)
+`
+
+// BrowserDropboxSource composes Browser with Dropbox (§3, Figure 2): the
+// page is delivered to a Dropbox on another node instead of the client,
+// who can fetch it later — appearing offline during the download.
+const BrowserDropboxSource = `
+def browse_to_dropbox(url, padding, node, dropbox_code):
+    body = requests.get(url)
+    compressed = zlib.compress(body)
+    final = compressed
+    if padding > 0:
+        if padding - len(final) > 0:
+            final = final + os.urandom(padding - len(final))
+        else:
+            final = final + os.urandom(padding - (len(final) % padding))
+
+    # Install Dropbox on the chosen node and put the result there.
+    conn = bento.connect(node)
+    toks = bento.spawn(conn, "python", "dropbox")
+    bento.upload(conn, toks[0], dropbox_code)
+    bento.invoke(conn, toks[0], "put", [final])
+
+    # Hand the capability back: [node, invoke_token, shutdown_token].
+    api.send((node + ":" + toks[0] + ":" + toks[1]).encode())
+    return len(final)
+`
+
+// DropboxSource is the ephemeral in-network file store (§9.2): put/get
+// under the container's chrooted (and, in a conclave, encrypted)
+// filesystem, with a bounded number of gets before self-destruction.
+const DropboxSource = `
+max_gets = 16
+gets = 0
+expires_ms = 0
+
+def put(data):
+    fs.write("box", data)
+    return True
+
+def put_ttl(data, ttl_ms):
+    # Store with an expiry; after it passes, the file is wiped on the
+    # next access (§9.2: "...or expiry time, after which the function
+    # deletes the file").
+    fs.write("box", data)
+    expires_ms = clock.now_ms() + ttl_ms
+    return True
+
+def expired():
+    if expires_ms > 0 and clock.now_ms() > expires_ms:
+        return True
+    return False
+
+def put_named(name, data):
+    fs.write("box-" + name, data)
+    return True
+
+def get():
+    if expired():
+        wipe()
+        return False
+    gets += 1
+    if gets > max_gets:
+        return False
+    api.send(fs.read("box"))
+    return True
+
+def get_named(name):
+    gets += 1
+    if gets > max_gets:
+        return False
+    api.send(fs.read("box-" + name))
+    return True
+
+def wipe():
+    for name in fs.list():
+        fs.remove(name)
+    return True
+`
+
+// CoverSource generates cover traffic (§9.1): it streams fixed-rate junk
+// back to the client for a duration, so the circuit transmits at a
+// constant rate regardless of real activity.
+const CoverSource = `
+def cover(duration_ms, interval_ms, burst):
+    start = clock.now_ms()
+    sent = 0
+    while clock.now_ms() - start < duration_ms:
+        api.send(os.urandom(burst))
+        sent += burst
+        clock.sleep_ms(interval_ms)
+    return sent
+
+def cover_circuit(dest, port, duration_ms, interval_ms, burst):
+    # Long-range padding (DROP cells) on a dedicated circuit.
+    c = tor.create_circuit(dest, port)
+    start = clock.now_ms()
+    cells = 0
+    while clock.now_ms() - start < duration_ms:
+        tor.drop(c, burst)
+        cells += 1
+        clock.sleep_ms(interval_ms)
+    tor.close_circuit(c)
+    return cells
+`
+
+// ShardSource spreads a file across Dropboxes on multiple nodes using
+// k-of-N erasure coding (§9.3) and reassembles it from any k locations.
+const ShardSource = `
+def shard(data, k, n, nodes, dropbox_code):
+    shards = erasure.encode(data, k, n)
+    locations = []
+    i = 0
+    for s in shards:
+        node = nodes[i % len(nodes)]
+        conn = bento.connect(node)
+        toks = bento.spawn(conn, "python", "dropbox-shard")
+        bento.upload(conn, toks[0], dropbox_code)
+        bento.invoke(conn, toks[0], "put", [s])
+        locations.append(node + ":" + toks[0])
+        i += 1
+    api.send("|".join(locations).encode())
+    return len(locations)
+
+def fetch(locations_blob, k):
+    locations = locations_blob.decode().split("|")
+    shards = []
+    for loc in locations:
+        if len(shards) >= k:
+            break
+        parts = loc.split(":")
+        conn = bento.connect(parts[0])
+        piece = bento.invoke(conn, parts[1], "get", [])
+        if len(piece) > 0:
+            shards.append(piece)
+    data = erasure.decode(shards)
+    api.send(data)
+    return len(data)
+`
+
+// ReplicaSource runs on nodes the LoadBalancer scales onto: it receives a
+// copy of the service identity and content, then answers rendezvous
+// requests on the service's behalf (§8.2).
+const ReplicaSource = `
+def init(identity, data):
+    fs.write("identity", identity)
+    fs.write("content", data)
+    return True
+
+def serve(intro):
+    # Transfers proceed asynchronously; load() reports them.
+    stem.respond_rendezvous_file(fs.read("identity"), intro, "content")
+    return True
+
+def load():
+    return stem.active_transfers()
+`
+
+// LoadBalancerSource is the §8 hidden-service load balancer: it owns the
+// service's introduction points, assigns each incoming client to the
+// least-loaded replica, and spins replicas up (to a cap) when all are at
+// the high watermark.
+const LoadBalancerSource = `
+def spawn_replica(node, replica_code, identity, content):
+    conn = bento.connect(node)
+    toks = bento.spawn(conn, "python", "hs-replica")
+    bento.upload(conn, toks[0], replica_code)
+    bento.call(conn, toks[0], "init", [identity, content])
+    return {"conn": conn, "tok": toks[0], "node": node}
+
+def run(identity, content, nodes, replica_code, max_per_replica, max_replicas, duration_ms):
+    h = stem.launch_hs(identity)
+    replicas = []
+    spawned = 0
+    next_node = 0
+    start = clock.now_ms()
+    while clock.now_ms() - start < duration_ms:
+        intro = stem.next_intro(h)
+        if intro == None:
+            clock.sleep_ms(20)
+            continue
+
+        # Poll replica load reports and pick the least-loaded (§8.2).
+        # Replicas that stop answering are evicted and later replaced.
+        best = None
+        best_load = 0
+        healthy = []
+        for r in replicas:
+            try:
+                l = bento.call(r["conn"], r["tok"], "load", [])
+            except:
+                continue
+            healthy.append(r)
+            if best == None or l < best_load:
+                best = r
+                best_load = l
+        replicas = healthy
+
+        # High watermark: scale up when everyone is at capacity.
+        if (best == None or best_load >= max_per_replica) and len(replicas) < max_replicas:
+            try:
+                r = spawn_replica(nodes[next_node % len(nodes)], replica_code, identity, content)
+                next_node += 1
+                replicas.append(r)
+                if spawned < len(replicas):
+                    spawned = len(replicas)
+                best = r
+            except:
+                next_node += 1
+
+        if best == None:
+            continue
+        try:
+            bento.call(best["conn"], best["tok"], "serve", [intro])
+        except:
+            pass
+    return spawned
+`
+
+// SingleServerSource is the Figure 5 baseline: one hidden service
+// instance serving the content itself, no balancing.
+const SingleServerSource = `
+def run(identity, content, duration_ms):
+    fs.write("content", content)
+    h = stem.launch_hs_file(identity, "content")
+    clock.sleep_ms(duration_ms)
+    return h
+`
+
+// EchoSource is the quickstart demo function.
+const EchoSource = `
+def echo(data):
+    api.send(b"echo:" + bytes(data))
+    return len(data)
+`

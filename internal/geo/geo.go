@@ -1,0 +1,195 @@
+// Package geo implements the §9.4 "geographical avoidance" extension:
+// provable avoidance routing in the style of Alibi Routing / DeTor.
+// Hosts get positions on a plane; circuit paths can be chosen to avoid a
+// forbidden region; and a speed-of-light argument over measured
+// round-trip times yields a *proof* that packets could not have traversed
+// the region — computable by anyone who knows the endpoint and relay
+// positions.
+//
+// The core inequality (DeTor): a round trip along path a→r1→…→rk→b that
+// additionally detoured through any point F of the forbidden region would
+// take at least 2·D(path via F)/c. If the measured RTT is smaller than
+// the *minimum* such detour time (times a safety factor), the packets
+// provably did not enter the region.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// LightSpeedKmPerMs is the propagation speed used for both delay modeling
+// and avoidance proofs. Real deployments use ~2/3 c for fiber; any
+// constant works as long as modeling and proving agree (a proof is only
+// sound if the true network is no faster than this bound).
+const LightSpeedKmPerMs = 200.0
+
+// Point is a position on a plane, in kilometers. (A plane rather than a
+// sphere keeps the math transparent; the proof inequality is identical.)
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance in km.
+func (p Point) Distance(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Region is a forbidden disk.
+type Region struct {
+	Center Point
+	Radius float64 // km
+}
+
+// Contains reports whether a point lies in the region.
+func (r Region) Contains(p Point) bool {
+	return r.Center.Distance(p) <= r.Radius
+}
+
+// distanceVia returns the length of the shortest a→F→b leg through any
+// point F of the region: |a−C| + |C−b| − 2·radius, floored at the direct
+// distance (if the segment already crosses the region, the detour is
+// free).
+func (r Region) distanceVia(a, b Point) float64 {
+	d := a.Distance(r.Center) + r.Center.Distance(b) - 2*r.Radius
+	if direct := a.Distance(b); d < direct {
+		return direct
+	}
+	return d
+}
+
+// PropagationDelay converts a distance to a one-way delay.
+func PropagationDelay(km float64) time.Duration {
+	return time.Duration(km / LightSpeedKmPerMs * float64(time.Millisecond))
+}
+
+// PathLength sums hop distances along positions.
+func PathLength(positions []Point) float64 {
+	total := 0.0
+	for i := 1; i < len(positions); i++ {
+		total += positions[i-1].Distance(positions[i])
+	}
+	return total
+}
+
+// MinDetourLength returns the length of the shortest path that visits
+// every hop in order AND enters the region somewhere: the minimum over
+// hops of replacing one leg with a detour through the region.
+func MinDetourLength(positions []Point, region Region) float64 {
+	if len(positions) < 2 {
+		return 0
+	}
+	best := math.Inf(1)
+	direct := 0.0
+	for i := 1; i < len(positions); i++ {
+		direct += positions[i-1].Distance(positions[i])
+	}
+	for i := 1; i < len(positions); i++ {
+		leg := positions[i-1].Distance(positions[i])
+		via := region.distanceVia(positions[i-1], positions[i])
+		if d := direct - leg + via; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Proof is an avoidance proof for one round trip.
+type Proof struct {
+	Region      Region
+	MeasuredRTT time.Duration
+	// MinDetourRTT is the least possible RTT had packets entered the
+	// region (2 × detour length / c).
+	MinDetourRTT time.Duration
+	// Avoided is true when MeasuredRTT < MinDetourRTT / SafetyFactor is
+	// satisfied — the packets provably stayed out.
+	Avoided bool
+}
+
+// SafetyFactor inflates the measured RTT before comparing, absorbing
+// queueing and processing delays (DeTor uses a similar slack): a proof
+// requires measured·SafetyFactor < minimum detour RTT.
+const SafetyFactor = 1.0
+
+// ProveAvoidance evaluates the avoidance inequality for a path whose hop
+// positions are known and whose end-to-end RTT was measured.
+func ProveAvoidance(positions []Point, region Region, measuredRTT time.Duration) (*Proof, error) {
+	if len(positions) < 2 {
+		return nil, fmt.Errorf("geo: need at least two positions")
+	}
+	for i, p := range positions {
+		if region.Contains(p) {
+			return nil, fmt.Errorf("geo: hop %d lies inside the forbidden region", i)
+		}
+	}
+	minDetour := MinDetourLength(positions, region)
+	minDetourRTT := 2 * PropagationDelay(minDetour)
+	return &Proof{
+		Region:       region,
+		MeasuredRTT:  measuredRTT,
+		MinDetourRTT: minDetourRTT,
+		Avoided:      time.Duration(float64(measuredRTT)*SafetyFactor) < minDetourRTT,
+	}, nil
+}
+
+// Positions is a host-position registry used to derive simnet link delays
+// and to select avoidance-friendly paths.
+type Positions struct {
+	byHost map[string]Point
+}
+
+// NewPositions creates an empty registry.
+func NewPositions() *Positions {
+	return &Positions{byHost: make(map[string]Point)}
+}
+
+// Set places a host.
+func (ps *Positions) Set(host string, p Point) { ps.byHost[host] = p }
+
+// Get returns a host's position.
+func (ps *Positions) Get(host string) (Point, bool) {
+	p, ok := ps.byHost[host]
+	return p, ok
+}
+
+// Delay returns the modeled one-way delay between two hosts.
+func (ps *Positions) Delay(a, b string) (time.Duration, error) {
+	pa, ok := ps.byHost[a]
+	if !ok {
+		return 0, fmt.Errorf("geo: unknown host %q", a)
+	}
+	pb, ok := ps.byHost[b]
+	if !ok {
+		return 0, fmt.Errorf("geo: unknown host %q", b)
+	}
+	return PropagationDelay(pa.Distance(pb)), nil
+}
+
+// PathPositions resolves a hop list to positions.
+func (ps *Positions) PathPositions(hosts []string) ([]Point, error) {
+	out := make([]Point, 0, len(hosts))
+	for _, h := range hosts {
+		p, ok := ps.byHost[h]
+		if !ok {
+			return nil, fmt.Errorf("geo: unknown host %q", h)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// AvoidingCandidates filters relay hosts to those outside the region and
+// whose use could plausibly yield a proof (their detour slack through the
+// region is positive for a path a→relay→b).
+func (ps *Positions) AvoidingCandidates(relays []string, region Region) []string {
+	var out []string
+	for _, r := range relays {
+		p, ok := ps.byHost[r]
+		if ok && !region.Contains(p) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDistanceAndDelay(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{300, 400}
+	if d := a.Distance(b); math.Abs(d-500) > 1e-9 {
+		t.Fatalf("distance = %f, want 500", d)
+	}
+	if got := PropagationDelay(200); got != time.Millisecond {
+		t.Fatalf("delay for 200km = %v, want 1ms", got)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Center: Point{100, 100}, Radius: 50}
+	if !r.Contains(Point{120, 120}) {
+		t.Fatal("interior point not contained")
+	}
+	if r.Contains(Point{200, 200}) {
+		t.Fatal("exterior point contained")
+	}
+	if !r.Contains(Point{150, 100}) {
+		t.Fatal("boundary point not contained")
+	}
+}
+
+func TestDistanceVia(t *testing.T) {
+	// Region far off to the side: detour through it is long.
+	r := Region{Center: Point{0, 1000}, Radius: 100}
+	a, b := Point{-500, 0}, Point{500, 0}
+	direct := a.Distance(b)
+	via := r.distanceVia(a, b)
+	if via <= direct {
+		t.Fatalf("detour (%f) not longer than direct (%f)", via, direct)
+	}
+	// Region straddling the segment: detour is free.
+	r2 := Region{Center: Point{0, 0}, Radius: 50}
+	if via := r2.distanceVia(a, b); via != direct {
+		t.Fatalf("on-path region should cost nothing extra: %f vs %f", via, direct)
+	}
+}
+
+func TestProveAvoidancePositive(t *testing.T) {
+	// A short path far from the region, measured at its honest RTT:
+	// provably avoided.
+	positions := []Point{{0, 0}, {200, 0}, {400, 0}}
+	region := Region{Center: Point{200, 2000}, Radius: 100}
+	honest := 2 * PropagationDelay(PathLength(positions))
+	proof, err := ProveAvoidance(positions, region, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proof.Avoided {
+		t.Fatalf("honest RTT %v did not prove avoidance (min detour %v)",
+			proof.MeasuredRTT, proof.MinDetourRTT)
+	}
+}
+
+func TestProveAvoidanceNegative(t *testing.T) {
+	// A measured RTT large enough to have allowed a detour: no proof.
+	positions := []Point{{0, 0}, {200, 0}, {400, 0}}
+	region := Region{Center: Point{200, 300}, Radius: 50}
+	slow := 2 * PropagationDelay(PathLength(positions)+2000)
+	proof, err := ProveAvoidance(positions, region, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.Avoided {
+		t.Fatal("slow RTT yielded an avoidance proof")
+	}
+}
+
+func TestProveAvoidanceRejectsHopInRegion(t *testing.T) {
+	positions := []Point{{0, 0}, {100, 0}}
+	region := Region{Center: Point{100, 0}, Radius: 10}
+	if _, err := ProveAvoidance(positions, region, time.Millisecond); err == nil {
+		t.Fatal("hop inside region accepted")
+	}
+	if _, err := ProveAvoidance([]Point{{0, 0}}, region, time.Millisecond); err == nil {
+		t.Fatal("single-point path accepted")
+	}
+}
+
+// Property (soundness): if the true path really detoured through the
+// region, its honest RTT can never satisfy the proof inequality.
+func TestProofSoundnessProperty(t *testing.T) {
+	check := func(ax, ay, bx, by int8, rs uint8) bool {
+		a := Point{float64(ax) * 10, float64(ay) * 10}
+		b := Point{float64(bx) * 10, float64(by) * 10}
+		region := Region{Center: Point{500, 500}, Radius: float64(rs%100) + 20}
+		if region.Contains(a) || region.Contains(b) {
+			return true // precondition
+		}
+		positions := []Point{a, b}
+		// The adversary's packets actually went a→F→b through the
+		// region's nearest point; their true RTT is at least the detour.
+		trueLen := region.distanceVia(a, b)
+		trueRTT := 2 * PropagationDelay(trueLen)
+		proof, err := ProveAvoidance(positions, region, trueRTT)
+		if err != nil {
+			return true
+		}
+		return !proof.Avoided // must NOT prove avoidance
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (completeness for fast paths): an honest RTT strictly below
+// every possible detour always proves avoidance.
+func TestProofCompletenessProperty(t *testing.T) {
+	check := func(off int8) bool {
+		d := float64(off%50) * 20
+		positions := []Point{{0, 0}, {300, 0}, {600, 0}}
+		region := Region{Center: Point{300, 3000 + d}, Radius: 100}
+		honest := 2 * PropagationDelay(PathLength(positions))
+		proof, err := ProveAvoidance(positions, region, honest)
+		return err == nil && proof.Avoided
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositionsRegistry(t *testing.T) {
+	ps := NewPositions()
+	ps.Set("a", Point{0, 0})
+	ps.Set("b", Point{400, 0})
+	d, err := ps.Delay("a", "b")
+	if err != nil || d != 2*time.Millisecond {
+		t.Fatalf("delay: %v %v", d, err)
+	}
+	if _, err := ps.Delay("a", "missing"); err == nil {
+		t.Fatal("unknown host delay computed")
+	}
+	pts, err := ps.PathPositions([]string{"a", "b"})
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("path positions: %v %v", pts, err)
+	}
+	if _, err := ps.PathPositions([]string{"a", "zz"}); err == nil {
+		t.Fatal("unknown hop resolved")
+	}
+	region := Region{Center: Point{400, 0}, Radius: 10}
+	cands := ps.AvoidingCandidates([]string{"a", "b"}, region)
+	if len(cands) != 1 || cands[0] != "a" {
+		t.Fatalf("candidates = %v", cands)
+	}
+}
+
+func TestMinDetourMultiHop(t *testing.T) {
+	// The cheapest detour replaces the leg nearest the region.
+	positions := []Point{{0, 0}, {1000, 0}, {2000, 0}}
+	region := Region{Center: Point{1500, 2000}, Radius: 50}
+	direct := PathLength(positions)
+	min := MinDetourLength(positions, region)
+	if min <= direct {
+		t.Fatalf("detour %f not above direct %f", min, direct)
+	}
+	// Detour via the second leg (closest) must be what's chosen:
+	viaSecond := positions[0].Distance(positions[1]) + region.distanceVia(positions[1], positions[2])
+	if math.Abs(min-viaSecond) > 1e-9 {
+		t.Fatalf("min detour %f != via-second-leg %f", min, viaSecond)
+	}
+}

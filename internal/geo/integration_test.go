@@ -1,0 +1,153 @@
+package geo_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/geo"
+	"github.com/bento-nfv/bento/internal/testbed"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+// TestAvoidanceOverOverlay runs the full §9.4 flow on the emulated
+// overlay: hosts get positions, link delays derive from geography, a
+// circuit is built through region-avoiding relays, the end-to-end RTT is
+// measured through the live stack, and the speed-of-light inequality
+// yields (or refuses) an avoidance proof.
+func TestAvoidanceOverOverlay(t *testing.T) {
+	site := webfarm.NamedSite("far.web", 1000, nil)
+	w, err := testbed.New(testbed.Config{
+		Relays:     6,
+		BentoNodes: 0,
+		Sites:      []*webfarm.Site{site},
+		ClockScale: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	clock := w.Clock()
+
+	// Geography: client in the west, destination in the east, relays
+	// spread along a northern corridor; the forbidden region sits far to
+	// the south.
+	// Distances are scaled up so propagation dominates protocol and
+	// CPU overheads in the measured RTT (the proof only errs toward
+	// refusing proofs when overheads inflate the measurement).
+	const km = 15.0
+	ps := geo.NewPositions()
+	ps.Set("client", geo.Point{X: 0, Y: 0})
+	ps.Set("far.web", geo.Point{X: 6000 * km, Y: 0})
+	relayPos := []geo.Point{
+		{X: 1000 * km, Y: 800 * km}, {X: 2000 * km, Y: 900 * km}, {X: 3000 * km, Y: 850 * km},
+		{X: 4000 * km, Y: 900 * km}, {X: 5000 * km, Y: 800 * km}, {X: 3000 * km, Y: -4500 * km},
+	}
+	var hosts []string
+	for i, d := range w.Consensus.Relays {
+		host := hostOf(d.Address)
+		hosts = append(hosts, host)
+		ps.Set(host, relayPos[i])
+	}
+	// Derive every link's delay from geography.
+	all := append([]string{"client", "far.web"}, hosts...)
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			d, err := ps.Delay(all[i], all[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Net.SetDelay(all[i], all[j], d)
+		}
+	}
+
+	forbidden := geo.Region{Center: geo.Point{X: 3000 * km, Y: -5000 * km}, Radius: 800 * km}
+
+	// Choose a path through region-avoiding relays (exclude relay5).
+	candidates := ps.AvoidingCandidates(hosts, forbidden)
+	if len(candidates) != 6 { // relay5 is outside the region too, just southern
+		t.Logf("candidates: %v", candidates)
+	}
+	pick := func(nick string) *dirauth.Descriptor { return w.Consensus.Relay(nick) }
+	path := []*dirauth.Descriptor{pick("relay0"), pick("relay2"), pick("relay4")}
+
+	cli := w.NewTorClient("client", 5)
+	circ, err := cli.BuildCircuit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer circ.Close()
+
+	// Warm the stream, then measure one request/response round trip —
+	// the quantity DeTor's inequality is stated over.
+	s, err := circ.OpenStream("far.web:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := []byte("GET / HTTP/1.0\r\nHost: far.web\r\n\r\n")
+	buf := make([]byte, 64)
+	s.Write(req)
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	drainBriefly(s)
+	start := clock.Now()
+	s.Write(req)
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	measured := clock.Now() - start
+	s.Close()
+
+	// Build the hop-position list client → relays → destination.
+	hopHosts := []string{"client"}
+	for _, d := range path {
+		hopHosts = append(hopHosts, hostOf(d.Address))
+	}
+	hopHosts = append(hopHosts, "far.web")
+	positions, err := ps.PathPositions(hopHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proof, err := geo.ProveAvoidance(positions, forbidden, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("measured RTT %v, min detour RTT %v", proof.MeasuredRTT, proof.MinDetourRTT)
+	if !proof.Avoided {
+		t.Fatalf("northern path failed to prove avoidance (RTT %v vs detour %v)",
+			measured, proof.MinDetourRTT)
+	}
+
+	// Counterexample: an RTT long enough to have allowed the detour must
+	// not produce a proof.
+	slow := proof.MinDetourRTT + 50*time.Millisecond
+	noProof, err := geo.ProveAvoidance(positions, forbidden, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noProof.Avoided {
+		t.Fatal("slow RTT produced an avoidance proof")
+	}
+}
+
+// drainBriefly consumes whatever response bytes remain buffered.
+func drainBriefly(s io.Reader) {
+	type deadliner interface{ SetReadDeadline(time.Time) error }
+	if d, ok := s.(deadliner); ok {
+		d.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		io.Copy(io.Discard, s)
+		d.SetReadDeadline(time.Time{})
+	}
+}
+
+func hostOf(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}

@@ -1,0 +1,41 @@
+package hs
+
+import (
+	"fmt"
+
+	"github.com/bento-nfv/bento/internal/pow"
+)
+
+// Proof-of-work introduction defense (§9.4, "Hidden service DDoS
+// defense"): a service can demand that clients attach a hashcash proof to
+// their introduction, priced by the service's descriptor rather than by
+// changes to Tor. Introduction points forward introductions blindly; the
+// service (or its LoadBalancer front) verifies the proof before spending
+// a rendezvous circuit on the client.
+
+// MaxPoWBits bounds the advertised difficulty to keep clients from being
+// asked for unbounded work by a malicious descriptor.
+const MaxPoWBits = pow.MaxBits
+
+const introPoWTag = "bento-intro-pow"
+
+// powPayload binds a proof to this service and this one introduction (so
+// proofs cannot be replayed across rendezvous attempts).
+func powPayload(serviceID string, cookie []byte) []byte {
+	return append([]byte(serviceID), cookie...)
+}
+
+// SolvePoW finds a nonce whose digest has at least bits leading zeros.
+// Expected cost is 2^bits hashes; bits = 0 returns immediately.
+func SolvePoW(serviceID string, cookie []byte, bits int) (uint64, error) {
+	nonce, err := pow.Solve(introPoWTag, powPayload(serviceID, cookie), bits)
+	if err != nil {
+		return 0, fmt.Errorf("hs: %w", err)
+	}
+	return nonce, nil
+}
+
+// VerifyPoW checks a client's introduction proof.
+func VerifyPoW(serviceID string, cookie []byte, nonce uint64, bits int) bool {
+	return pow.Verify(introPoWTag, powPayload(serviceID, cookie), nonce, bits)
+}

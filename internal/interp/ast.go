@@ -1,0 +1,183 @@
+package interp
+
+// AST node types. Statements and expressions are separate interfaces; all
+// nodes carry the source line for error reporting and per-node instruction
+// accounting.
+
+type stmt interface{ stmtLine() int }
+
+type expr interface{ exprLine() int }
+
+// --- statements -------------------------------------------------------------
+
+type exprStmt struct {
+	line int
+	e    expr
+}
+
+type assignStmt struct {
+	line   int
+	target expr   // identExpr, indexExpr, or attrExpr
+	op     string // "=", "+=", "-=", "*=", "%="
+	value  expr
+}
+
+type ifStmt struct {
+	line   int
+	cond   expr
+	body   []stmt
+	orelse []stmt // may hold a single nested ifStmt for elif chains
+}
+
+type whileStmt struct {
+	line int
+	cond expr
+	body []stmt
+}
+
+type forStmt struct {
+	line int
+	name string
+	iter expr
+	body []stmt
+}
+
+type defStmt struct {
+	line   int
+	name   string
+	params []string
+	body   []stmt
+}
+
+type returnStmt struct {
+	line  int
+	value expr // nil for bare return
+}
+
+type breakStmt struct{ line int }
+
+type continueStmt struct{ line int }
+
+type passStmt struct{ line int }
+
+type delStmt struct {
+	line   int
+	target expr // indexExpr only
+}
+
+type tryStmt struct {
+	line    int
+	body    []stmt
+	name    string // "" unless "except ... as name"
+	handler []stmt
+}
+
+type raiseStmt struct {
+	line int
+	msg  expr
+}
+
+func (s *exprStmt) stmtLine() int     { return s.line }
+func (s *assignStmt) stmtLine() int   { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *forStmt) stmtLine() int      { return s.line }
+func (s *defStmt) stmtLine() int      { return s.line }
+func (s *returnStmt) stmtLine() int   { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+func (s *passStmt) stmtLine() int     { return s.line }
+func (s *delStmt) stmtLine() int      { return s.line }
+func (s *tryStmt) stmtLine() int      { return s.line }
+func (s *raiseStmt) stmtLine() int    { return s.line }
+
+// --- expressions ------------------------------------------------------------
+
+type identExpr struct {
+	line int
+	name string
+}
+
+type intLit struct {
+	line int
+	v    int64
+}
+
+type strLit struct {
+	line int
+	v    string
+}
+
+type bytesLit struct {
+	line int
+	v    []byte
+}
+
+type boolLit struct {
+	line int
+	v    bool
+}
+
+type noneLit struct{ line int }
+
+type listLit struct {
+	line  int
+	elems []expr
+}
+
+type dictLit struct {
+	line int
+	keys []expr
+	vals []expr
+}
+
+type binaryExpr struct {
+	line     int
+	op       string // + - * / // % == != < <= > >= and or in
+	lhs, rhs expr
+}
+
+type unaryExpr struct {
+	line int
+	op   string // - not
+	rhs  expr
+}
+
+type callExpr struct {
+	line int
+	fn   expr // identExpr or attrExpr
+	args []expr
+}
+
+type indexExpr struct {
+	line  int
+	base  expr
+	index expr
+}
+
+type sliceExpr struct {
+	line   int
+	base   expr
+	lo, hi expr // either may be nil
+}
+
+type attrExpr struct {
+	line int
+	base expr
+	name string
+}
+
+func (e *identExpr) exprLine() int  { return e.line }
+func (e *intLit) exprLine() int     { return e.line }
+func (e *strLit) exprLine() int     { return e.line }
+func (e *bytesLit) exprLine() int   { return e.line }
+func (e *boolLit) exprLine() int    { return e.line }
+func (e *noneLit) exprLine() int    { return e.line }
+func (e *listLit) exprLine() int    { return e.line }
+func (e *dictLit) exprLine() int    { return e.line }
+func (e *binaryExpr) exprLine() int { return e.line }
+func (e *unaryExpr) exprLine() int  { return e.line }
+func (e *callExpr) exprLine() int   { return e.line }
+func (e *indexExpr) exprLine() int  { return e.line }
+func (e *sliceExpr) exprLine() int  { return e.line }
+func (e *attrExpr) exprLine() int   { return e.line }

@@ -1,0 +1,467 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Resource-limit errors. The sandbox layer maps these onto container
+// violations.
+var (
+	// ErrBudgetExceeded is returned when the instruction budget runs out.
+	ErrBudgetExceeded = errors.New("bscript: instruction budget exceeded")
+	// ErrMemoryExceeded is returned when live memory exceeds the limit.
+	ErrMemoryExceeded = errors.New("bscript: memory limit exceeded")
+	// ErrKilled is returned when the machine was killed externally (e.g.
+	// by a shutdown token).
+	ErrKilled = errors.New("bscript: killed")
+)
+
+// RuntimeError is a script-level error with a source line.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("bscript: line %d: %s", e.Line, e.Msg)
+}
+
+func runtimeErrf(line int, format string, args ...any) error {
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// control-flow signals (cheaper and clearer than panic/recover).
+type controlKind int
+
+const (
+	ctlNone controlKind = iota
+	ctlReturn
+	ctlBreak
+	ctlContinue
+)
+
+type control struct {
+	kind controlKind
+	val  Value
+}
+
+// Machine executes a bscript program under resource limits.
+type Machine struct {
+	Globals *Env
+	// Stdout receives print() output; nil discards it.
+	Stdout io.Writer
+
+	budget    int64
+	memLimit  int64
+	memBase   int64 // last full measurement
+	memDelta  int64 // allocations since last measurement
+	memPeak   int64 // high-water mark of the running estimate
+	steps     int64 // total instructions executed (for reporting)
+	callDepth int   // current user-function call depth
+	killed    atomic.Bool
+	collected []Value // values to include in memory measurement roots
+}
+
+// Limits configures a Machine's resource ceilings.
+type Limits struct {
+	// Instructions bounds AST-node evaluations (0 = default 10M).
+	Instructions int64
+	// Memory bounds estimated live bytes (0 = default 16 MiB).
+	Memory int64
+}
+
+// NewMachine creates a machine with the standard builtins installed.
+func NewMachine(lim Limits) *Machine {
+	if lim.Instructions <= 0 {
+		lim.Instructions = 10_000_000
+	}
+	if lim.Memory <= 0 {
+		lim.Memory = 16 << 20
+	}
+	m := &Machine{
+		Globals:  NewEnv(nil),
+		budget:   lim.Instructions,
+		memLimit: lim.Memory,
+	}
+	installBuiltins(m)
+	return m
+}
+
+// Kill aborts the machine: the next instruction returns ErrKilled. Safe to
+// call from any goroutine — this is how a Bento shutdown token stops a
+// running function.
+func (m *Machine) Kill() { m.killed.Store(true) }
+
+// Steps reports how many instructions have executed.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// MemoryEstimate reports the latest live-memory estimate in bytes.
+func (m *Machine) MemoryEstimate() int64 { return m.memBase + m.memDelta }
+
+// MeasureNow forces a full live-memory measurement and returns it. Only
+// call while no code is executing in the machine.
+func (m *Machine) MeasureNow() int64 {
+	m.measure()
+	return m.memBase
+}
+
+// PeakMemory reports the high-water mark of the running memory estimate.
+// Note the estimate over-counts transient allocations between full
+// measurements, so this is an upper bound, as cgroup peak-RSS would be.
+func (m *Machine) PeakMemory() int64 {
+	if m.memBase > m.memPeak {
+		return m.memBase
+	}
+	return m.memPeak
+}
+
+// Bind installs a host object or value as a global.
+func (m *Machine) Bind(name string, v Value) { m.Globals.Define(name, v) }
+
+// Run parses and executes a program in the machine's global scope.
+func (m *Machine) Run(src string) error {
+	prog, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	_, err = m.execBlock(prog, m.Globals)
+	return err
+}
+
+// CallFunction invokes a previously defined global function by name.
+func (m *Machine) CallFunction(name string, args ...Value) (Value, error) {
+	v, ok := m.Globals.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("bscript: no function %q defined", name)
+	}
+	fn, ok := v.(*Func)
+	if !ok {
+		return nil, fmt.Errorf("bscript: %q is a %s, not a function", name, v.Type())
+	}
+	return m.callFunc(fn, args)
+}
+
+// step charges one instruction and checks the kill switch.
+func (m *Machine) step(line int) error {
+	if m.killed.Load() {
+		return ErrKilled
+	}
+	m.budget--
+	m.steps++
+	if m.budget < 0 {
+		return ErrBudgetExceeded
+	}
+	return nil
+}
+
+// alloc charges n bytes against the memory limit, re-measuring live state
+// when the running estimate exceeds the ceiling.
+func (m *Machine) alloc(line int, n int64) error {
+	m.memDelta += n
+	if est := m.memBase + m.memDelta; est > m.memPeak {
+		m.memPeak = est
+	}
+	if m.memBase+m.memDelta <= m.memLimit {
+		return nil
+	}
+	m.measure()
+	if m.memBase > m.memLimit {
+		return ErrMemoryExceeded
+	}
+	return nil
+}
+
+// measure walks the global scope (the only long-lived roots in a
+// tree-walking interpreter without first-class frames) to compute live
+// memory.
+func (m *Machine) measure() {
+	seen := make(map[Value]bool)
+	var total int64
+	for s := m.Globals; s != nil; s = s.parent {
+		for _, v := range s.vars {
+			total += sizeOf(v, seen)
+		}
+	}
+	for _, v := range m.collected {
+		total += sizeOf(v, seen)
+	}
+	m.memBase = total
+	m.memDelta = 0
+}
+
+// --- statement execution -----------------------------------------------------
+
+func (m *Machine) execBlock(body []stmt, env *Env) (control, error) {
+	for _, s := range body {
+		ctl, err := m.exec(s, env)
+		if err != nil {
+			return control{}, err
+		}
+		if ctl.kind != ctlNone {
+			return ctl, nil
+		}
+	}
+	return control{}, nil
+}
+
+func (m *Machine) exec(s stmt, env *Env) (control, error) {
+	if err := m.step(s.stmtLine()); err != nil {
+		return control{}, err
+	}
+	switch st := s.(type) {
+	case *exprStmt:
+		_, err := m.eval(st.e, env)
+		return control{}, err
+	case *assignStmt:
+		return control{}, m.execAssign(st, env)
+	case *ifStmt:
+		cond, err := m.eval(st.cond, env)
+		if err != nil {
+			return control{}, err
+		}
+		if Truthy(cond) {
+			return m.execBlock(st.body, env)
+		}
+		return m.execBlock(st.orelse, env)
+	case *whileStmt:
+		for {
+			cond, err := m.eval(st.cond, env)
+			if err != nil {
+				return control{}, err
+			}
+			if !Truthy(cond) {
+				return control{}, nil
+			}
+			if err := m.step(st.line); err != nil {
+				return control{}, err
+			}
+			ctl, err := m.execBlock(st.body, env)
+			if err != nil {
+				return control{}, err
+			}
+			switch ctl.kind {
+			case ctlBreak:
+				return control{}, nil
+			case ctlReturn:
+				return ctl, nil
+			}
+		}
+	case *forStmt:
+		iter, err := m.eval(st.iter, env)
+		if err != nil {
+			return control{}, err
+		}
+		items, err := iterate(iter, st.line)
+		if err != nil {
+			return control{}, err
+		}
+		for item, err := items(); item != nil || err != nil; item, err = items() {
+			if err != nil {
+				return control{}, err
+			}
+			if err := m.step(st.line); err != nil {
+				return control{}, err
+			}
+			env.Set(st.name, item)
+			ctl, err := m.execBlock(st.body, env)
+			if err != nil {
+				return control{}, err
+			}
+			switch ctl.kind {
+			case ctlBreak:
+				return control{}, nil
+			case ctlReturn:
+				return ctl, nil
+			}
+		}
+		return control{}, nil
+	case *defStmt:
+		env.Define(st.name, &Func{Name: st.name, Params: st.params, Body: st.body, Closure: env})
+		return control{}, nil
+	case *returnStmt:
+		var v Value = None
+		if st.value != nil {
+			ev, err := m.eval(st.value, env)
+			if err != nil {
+				return control{}, err
+			}
+			v = ev
+		}
+		return control{kind: ctlReturn, val: v}, nil
+	case *breakStmt:
+		return control{kind: ctlBreak}, nil
+	case *continueStmt:
+		return control{kind: ctlContinue}, nil
+	case *passStmt:
+		return control{}, nil
+	case *tryStmt:
+		ctl, err := m.execBlock(st.body, env)
+		if err == nil {
+			return ctl, nil
+		}
+		// Only script-level errors are catchable; resource violations
+		// and kills always propagate (a function cannot absorb its own
+		// sandbox enforcement).
+		rerr, ok := err.(*RuntimeError)
+		if !ok {
+			return control{}, err
+		}
+		if st.name != "" {
+			env.Set(st.name, Str(rerr.Msg))
+		}
+		return m.execBlock(st.handler, env)
+	case *raiseStmt:
+		v, err := m.eval(st.msg, env)
+		if err != nil {
+			return control{}, err
+		}
+		return control{}, runtimeErrf(st.line, "%s", Repr(v))
+	case *delStmt:
+		ix := s.(*delStmt).target.(*indexExpr)
+		base, err := m.eval(ix.base, env)
+		if err != nil {
+			return control{}, err
+		}
+		idx, err := m.eval(ix.index, env)
+		if err != nil {
+			return control{}, err
+		}
+		d, ok := base.(*Dict)
+		if !ok {
+			return control{}, runtimeErrf(st.line, "del requires a dict, got %s", base.Type())
+		}
+		if err := d.Delete(idx); err != nil {
+			return control{}, runtimeErrf(st.line, "%v", err)
+		}
+		return control{}, nil
+	default:
+		return control{}, runtimeErrf(s.stmtLine(), "unknown statement")
+	}
+}
+
+func (m *Machine) execAssign(st *assignStmt, env *Env) error {
+	value, err := m.eval(st.value, env)
+	if err != nil {
+		return err
+	}
+	if st.op != "=" {
+		cur, err := m.evalTarget(st.target, env)
+		if err != nil {
+			return err
+		}
+		value, err = m.binop(st.line, st.op[:1], cur, value)
+		if err != nil {
+			return err
+		}
+	}
+	switch t := st.target.(type) {
+	case *identExpr:
+		env.Set(t.name, value)
+		return nil
+	case *indexExpr:
+		base, err := m.eval(t.base, env)
+		if err != nil {
+			return err
+		}
+		idx, err := m.eval(t.index, env)
+		if err != nil {
+			return err
+		}
+		switch b := base.(type) {
+		case *List:
+			i, ok := idx.(Int)
+			if !ok {
+				return runtimeErrf(st.line, "list index must be int")
+			}
+			n := int64(len(b.Elems))
+			if i < 0 {
+				i += Int(n)
+			}
+			if i < 0 || int64(i) >= n {
+				return runtimeErrf(st.line, "list index %d out of range", i)
+			}
+			b.Elems[i] = value
+			return nil
+		case *Dict:
+			if err := m.alloc(st.line, sizeOf(idx, map[Value]bool{})+16); err != nil {
+				return err
+			}
+			if err := b.Set(idx, value); err != nil {
+				return runtimeErrf(st.line, "%v", err)
+			}
+			return nil
+		default:
+			return runtimeErrf(st.line, "cannot index-assign into %s", base.Type())
+		}
+	default:
+		return runtimeErrf(st.line, "bad assignment target")
+	}
+}
+
+func (m *Machine) evalTarget(e expr, env *Env) (Value, error) {
+	return m.eval(e, env)
+}
+
+// iterate returns a pull-style iterator over a value.
+func iterate(v Value, line int) (func() (Value, error), error) {
+	switch x := v.(type) {
+	case *List:
+		snapshot := append([]Value(nil), x.Elems...)
+		i := 0
+		return func() (Value, error) {
+			if i >= len(snapshot) {
+				return nil, nil
+			}
+			e := snapshot[i]
+			i++
+			return e, nil
+		}, nil
+	case RangeVal:
+		cur := x.Start
+		return func() (Value, error) {
+			if (x.Step > 0 && cur >= x.Stop) || (x.Step < 0 && cur <= x.Stop) || x.Step == 0 {
+				return nil, nil
+			}
+			v := Int(cur)
+			cur += x.Step
+			return v, nil
+		}, nil
+	case Str:
+		i := 0
+		s := string(x)
+		return func() (Value, error) {
+			if i >= len(s) {
+				return nil, nil
+			}
+			c := Str(s[i : i+1])
+			i++
+			return c, nil
+		}, nil
+	case Bytes:
+		i := 0
+		return func() (Value, error) {
+			if i >= len(x) {
+				return nil, nil
+			}
+			b := Int(x[i])
+			i++
+			return b, nil
+		}, nil
+	case *Dict:
+		keys := x.Keys()
+		i := 0
+		return func() (Value, error) {
+			if i >= len(keys) {
+				return nil, nil
+			}
+			k := keys[i]
+			i++
+			return k, nil
+		}, nil
+	default:
+		return nil, runtimeErrf(line, "%s is not iterable", v.Type())
+	}
+}

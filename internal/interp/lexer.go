@@ -1,0 +1,244 @@
+package interp
+
+import (
+	"strings"
+)
+
+// lexer converts source text into a token stream with INDENT/DEDENT
+// tokens for block structure, in the style of the CPython tokenizer.
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+	indent []int // indentation stack, always starts with 0
+	parens int   // bracket nesting (newlines inside brackets are ignored)
+}
+
+// lex tokenizes src. It returns a token slice ending with tokEOF.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, indent: []int{0}}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.tokens, nil
+}
+
+func (l *lexer) run() error {
+	atLineStart := true
+	for l.pos < len(l.src) {
+		if atLineStart && l.parens == 0 {
+			if err := l.handleIndent(); err != nil {
+				return err
+			}
+			atLineStart = false
+			if l.pos >= len(l.src) {
+				break
+			}
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.pos++
+			l.line++
+			if l.parens == 0 {
+				// Collapse blank lines: only emit NEWLINE after content.
+				if n := len(l.tokens); n > 0 && l.tokens[n-1].kind != tokNewline &&
+					l.tokens[n-1].kind != tokIndent && l.tokens[n-1].kind != tokDedent {
+					l.emit(tokNewline, "")
+				}
+				atLineStart = true
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '"' || c == '\'':
+			if err := l.lexString(c, tokString); err != nil {
+				return err
+			}
+		case c == 'b' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == '"' || l.src[l.pos+1] == '\''):
+			l.pos++
+			if err := l.lexString(l.src[l.pos], tokBytes); err != nil {
+				return err
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexOp(); err != nil {
+				return err
+			}
+		}
+	}
+	// Close out the file: trailing NEWLINE plus any open blocks.
+	if n := len(l.tokens); n > 0 && l.tokens[n-1].kind != tokNewline {
+		l.emit(tokNewline, "")
+	}
+	for len(l.indent) > 1 {
+		l.indent = l.indent[:len(l.indent)-1]
+		l.emit(tokDedent, "")
+	}
+	l.emit(tokEOF, "")
+	return nil
+}
+
+// handleIndent measures leading whitespace and emits INDENT/DEDENT.
+func (l *lexer) handleIndent() error {
+	for {
+		col := 0
+		start := l.pos
+		for l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case ' ':
+				col++
+			case '\t':
+				col += 8 - col%8
+			default:
+				goto measured
+			}
+			l.pos++
+		}
+	measured:
+		// Skip blank/comment-only lines entirely.
+		if l.pos < len(l.src) && l.src[l.pos] == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '\n' {
+			l.pos++
+			l.line++
+			continue
+		}
+		if l.pos >= len(l.src) {
+			return nil
+		}
+		_ = start
+		cur := l.indent[len(l.indent)-1]
+		switch {
+		case col > cur:
+			l.indent = append(l.indent, col)
+			l.emit(tokIndent, "")
+		case col < cur:
+			for len(l.indent) > 1 && l.indent[len(l.indent)-1] > col {
+				l.indent = l.indent[:len(l.indent)-1]
+				l.emit(tokDedent, "")
+			}
+			if l.indent[len(l.indent)-1] != col {
+				return syntaxErrf(l.line, "inconsistent indentation")
+			}
+		}
+		return nil
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.emit(tokInt, l.src[start:l.pos])
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	if keywords[word] {
+		l.emit(tokKeyword, word)
+	} else {
+		l.emit(tokIdent, word)
+	}
+}
+
+func (l *lexer) lexString(quote byte, kind tokenKind) error {
+	startLine := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			l.emit(kind, b.String())
+			return nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return syntaxErrf(startLine, "unterminated string escape")
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return syntaxErrf(l.line, "unknown escape \\%c", l.src[l.pos])
+			}
+			l.pos++
+		case '\n':
+			return syntaxErrf(startLine, "unterminated string")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return syntaxErrf(startLine, "unterminated string")
+}
+
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true,
+	"+=": true, "-=": true, "*=": true, "//": true, "%=": true,
+}
+
+func (l *lexer) lexOp() error {
+	if l.pos+1 < len(l.src) && twoCharOps[l.src[l.pos:l.pos+2]] {
+		l.emit(tokOp, l.src[l.pos:l.pos+2])
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', '[', '{':
+		l.parens++
+	case ')', ']', '}':
+		l.parens--
+		if l.parens < 0 {
+			return syntaxErrf(l.line, "unbalanced %q", string(c))
+		}
+	case '+', '-', '*', '/', '%', '<', '>', '=', ',', ':', '.':
+	default:
+		return syntaxErrf(l.line, "unexpected character %q", string(c))
+	}
+	l.emit(tokOp, string(c))
+	l.pos++
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

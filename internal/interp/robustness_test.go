@@ -1,0 +1,141 @@
+package interp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds the parser random byte soup and mutated
+// fragments of valid programs: it must always return (possibly an error),
+// never panic — a malicious function upload is attacker-controlled input.
+func TestParserNeverPanics(t *testing.T) {
+	check := func(src []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		Parse(string(src))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParserNeverPanicsOnMutatedPrograms(t *testing.T) {
+	base := `
+def browser(url, padding):
+    body = requests.get(url)
+    compressed = zlib.compress(body)
+    final = compressed
+    if padding - len(final) > 0:
+        final = final + os.urandom(padding - len(final))
+    api.send(final)
+`
+	rng := rand.New(rand.NewSource(7))
+	glyphs := []byte("()[]{}:.,+-*/%=<>\"'# \t\nabc019_")
+	for i := 0; i < 2000; i++ {
+		b := []byte(base)
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = glyphs[rng.Intn(len(glyphs))]
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			case 2:
+				b = append(b[:pos], append([]byte{glyphs[rng.Intn(len(glyphs))]}, b[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %d: %v\nsource:\n%s", i, r, b)
+				}
+			}()
+			Parse(string(b))
+		}()
+	}
+}
+
+// TestExecNeverPanics runs random short programs assembled from valid
+// statement templates; execution must end in a value or an error.
+func TestExecNeverPanics(t *testing.T) {
+	templates := []string{
+		"x = %d",
+		"x = [1, 2, %d]",
+		"x = {\"k\": %d}",
+		"x = \"s\" * %d",
+		"x = bytes(%d %% 100)",
+		"x = range(%d %% 50)",
+		"for i in range(%d %% 20):\n    x = i",
+		"if %d > 2:\n    x = 1\nelse:\n    x = 2",
+		"def f(a):\n    return a + %d\nx = f(1)",
+		"x = [1, 2, 3][%d %% 5]", // may error: fine
+		"x = {\"a\": 1}[\"b\"]",  // errors: fine
+		"x = 10 // (%d %% 3)",    // may divide by zero: fine
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		var b strings.Builder
+		for s := 0; s < 1+rng.Intn(4); s++ {
+			tpl := templates[rng.Intn(len(templates))]
+			b.WriteString(strings.ReplaceAll(tpl, "%d", itoa(rng.Intn(10))))
+			b.WriteString("\n")
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on program %d: %v\nsource:\n%s", i, r, src)
+				}
+			}()
+			m := NewMachine(Limits{Instructions: 100_000})
+			m.Run(src)
+		}()
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// TestDeepNestingBounded: deeply nested expressions must not blow the Go
+// stack (the parser recursion is bounded by input length; very deep
+// inputs must fail or succeed gracefully).
+func TestDeepNestingBounded(t *testing.T) {
+	src := "x = " + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }() // a controlled panic would still fail the size check below
+		m := NewMachine(Limits{})
+		m.Run(src)
+	}()
+	<-done
+}
+
+func TestHugeSourceRejectedGracefully(t *testing.T) {
+	// A pathological one-liner with many operators.
+	src := "x = 1" + strings.Repeat(" + 1", 20000)
+	m := NewMachine(Limits{Instructions: 1_000_000})
+	if err := m.Run(src); err != nil {
+		// Budget exhaustion is acceptable; crashing is not.
+		t.Logf("large program: %v", err)
+	}
+	v, _ := m.Globals.Lookup("x")
+	if v != nil && v != Int(20001) {
+		t.Fatalf("x = %v", v)
+	}
+}

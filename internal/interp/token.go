@@ -1,0 +1,71 @@
+// Package interp implements bscript, the small Python-like language Bento
+// functions are written in. It stands in for the paper's CPython runtime:
+// arbitrary user code executes behind an instruction budget, a memory
+// accountant, and a mediated host API, which is where Bento's sandbox and
+// middlebox-policy enforcement attach.
+//
+// The language: integers, strings, byte strings, booleans, None, lists,
+// dicts; arithmetic, comparison, boolean operators; indexing and slicing;
+// if/elif/else, while, for-in, def/return; indentation-delimited blocks;
+// and attribute calls on host-provided objects (api.send(...), http.get(...)).
+package interp
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIndent
+	tokDedent
+	tokIdent
+	tokInt
+	tokString
+	tokBytes
+	tokOp      // operators and punctuation
+	tokKeyword // def, return, if, elif, else, while, for, in, and, or, not, True, False, None, break, continue, pass
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokNewline:
+		return "NEWLINE"
+	case tokIndent:
+		return "INDENT"
+	case tokDedent:
+		return "DEDENT"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"def": true, "return": true, "if": true, "elif": true, "else": true,
+	"while": true, "for": true, "in": true, "and": true, "or": true,
+	"not": true, "True": true, "False": true, "None": true,
+	"break": true, "continue": true, "pass": true, "del": true,
+	"try": true, "except": true, "as": true, "raise": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("bscript: line %d: %s", e.Line, e.Msg)
+}
+
+func syntaxErrf(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

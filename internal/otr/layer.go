@@ -1,0 +1,147 @@
+package otr
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding"
+	"fmt"
+	"hash"
+)
+
+// DigestLen is the length of the truncated rolling digest carried in relay
+// cells.
+const DigestLen = 4
+
+// Layer holds one circuit hop's relay-crypto state: an AES-CTR keystream
+// and a running digest per direction. The client keeps one Layer per hop;
+// each relay keeps exactly one.
+type Layer struct {
+	fwd       cipher.Stream
+	bwd       cipher.Stream
+	fwdDigest hash.Hash
+	bwdDigest hash.Hash
+}
+
+// NewLayer builds a Layer from KeyMaterialLen bytes of handshake output.
+// Both sides of a hop construct identical layers from identical material.
+func NewLayer(keys []byte) (*Layer, error) {
+	if len(keys) != KeyMaterialLen {
+		return nil, fmt.Errorf("otr: key material must be %d bytes, got %d", KeyMaterialLen, len(keys))
+	}
+	kf, kb := keys[0:16], keys[16:32]
+	df, db := keys[32:64], keys[64:96]
+	fwd, err := ctrStream(kf)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := ctrStream(kb)
+	if err != nil {
+		return nil, err
+	}
+	l := &Layer{
+		fwd:       fwd,
+		bwd:       bwd,
+		fwdDigest: sha256.New(),
+		bwdDigest: sha256.New(),
+	}
+	l.fwdDigest.Write(df)
+	l.bwdDigest.Write(db)
+	return l, nil
+}
+
+func ctrStream(key []byte) (cipher.Stream, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("otr: %w", err)
+	}
+	iv := make([]byte, aes.BlockSize) // fresh key per circuit; zero IV is safe
+	return cipher.NewCTR(block, iv), nil
+}
+
+// ApplyForward XORs the forward keystream over p in place (encrypt and
+// decrypt are the same operation in CTR mode).
+func (l *Layer) ApplyForward(p []byte) { l.fwd.XORKeyStream(p, p) }
+
+// ApplyBackward XORs the backward keystream over p in place.
+func (l *Layer) ApplyBackward(p []byte) { l.bwd.XORKeyStream(p, p) }
+
+// SealForward stamps the forward rolling digest into
+// payload[off:off+DigestLen]. Call before onion-encrypting a cell destined
+// for this hop.
+func (l *Layer) SealForward(payload []byte, off int) { seal(l.fwdDigest, payload, off) }
+
+// SealBackward stamps the backward rolling digest (relay side, for cells
+// traveling toward the client).
+func (l *Layer) SealBackward(payload []byte, off int) { seal(l.bwdDigest, payload, off) }
+
+// VerifyForward checks whether the decrypted payload's digest matches this
+// hop's forward running digest. On success the running digest advances; on
+// failure it is rolled back so an unrecognized cell can be forwarded
+// without corrupting state.
+func (l *Layer) VerifyForward(payload []byte, off int) bool {
+	return verify(l.fwdDigest, payload, off)
+}
+
+// VerifyBackward is VerifyForward for the client side of the backward
+// direction.
+func (l *Layer) VerifyBackward(payload []byte, off int) bool {
+	return verify(l.bwdDigest, payload, off)
+}
+
+func seal(h hash.Hash, payload []byte, off int) {
+	for i := 0; i < DigestLen; i++ {
+		payload[off+i] = 0
+	}
+	h.Write(payload)
+	sum := h.Sum(nil)
+	copy(payload[off:off+DigestLen], sum[:DigestLen])
+}
+
+func verify(h hash.Hash, payload []byte, off int) bool {
+	snap, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return false
+	}
+	var got [DigestLen]byte
+	copy(got[:], payload[off:off+DigestLen])
+	for i := 0; i < DigestLen; i++ {
+		payload[off+i] = 0
+	}
+	h.Write(payload)
+	sum := h.Sum(nil)
+	copy(payload[off:off+DigestLen], got[:]) // restore the wire bytes
+	if subtle.ConstantTimeCompare(sum[:DigestLen], got[:]) == 1 {
+		return true
+	}
+	// Not our cell: roll the running digest back.
+	h.(encoding.BinaryUnmarshaler).UnmarshalBinary(snap)
+	return false
+}
+
+// OnionEncrypt seals payload for hop target (0-based) and applies the
+// forward keystream of every layer from target down to the entry, producing
+// the fully onion-encrypted payload a client puts on the wire.
+func OnionEncrypt(layers []*Layer, target int, payload []byte, digestOff int) {
+	layers[target].SealForward(payload, digestOff)
+	for i := target; i >= 0; i-- {
+		layers[i].ApplyForward(payload)
+	}
+}
+
+// OnionDecrypt peels backward layers off a payload arriving at the client,
+// returning the hop index that recognized the cell, or -1 if no hop's
+// digest matched. recognizedAt reports whether the two recognized bytes at
+// recOff are zero after peeling a layer — the cheap pre-check before the
+// digest comparison.
+func OnionDecrypt(layers []*Layer, payload []byte, recOff, digestOff int) int {
+	for i := range layers {
+		layers[i].ApplyBackward(payload)
+		if payload[recOff] == 0 && payload[recOff+1] == 0 &&
+			layers[i].VerifyBackward(payload, digestOff) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,157 @@
+package otr
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+const (
+	protoID = "bento-ntor-x25519-sha256-1"
+
+	// KeyMaterialLen is the number of bytes of shared key material each
+	// side derives: forward key, backward key, forward digest seed,
+	// backward digest seed.
+	KeyMaterialLen = 16 + 16 + 32 + 32
+
+	// PublicKeyLen is the length of an X25519 public key.
+	PublicKeyLen = 32
+	// AuthLen is the length of the server's handshake authenticator.
+	AuthLen = 32
+)
+
+var errHandshake = errors.New("otr: handshake authentication failed")
+
+// OnionKey is a relay's long-lived X25519 onion key pair.
+type OnionKey struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewOnionKey generates a fresh onion key pair.
+func NewOnionKey() (*OnionKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("otr: generating onion key: %w", err)
+	}
+	return &OnionKey{priv: priv}, nil
+}
+
+// Public returns the 32-byte public onion key.
+func (k *OnionKey) Public() []byte { return k.priv.PublicKey().Bytes() }
+
+// Bytes returns the private key material for serialization (e.g. when a
+// hidden service identity is replicated to another node).
+func (k *OnionKey) Bytes() []byte { return k.priv.Bytes() }
+
+// OnionKeyFromBytes reconstructs an onion key pair from Bytes output.
+func OnionKeyFromBytes(b []byte) (*OnionKey, error) {
+	priv, err := ecdh.X25519().NewPrivateKey(b)
+	if err != nil {
+		return nil, fmt.Errorf("otr: bad onion private key: %w", err)
+	}
+	return &OnionKey{priv: priv}, nil
+}
+
+// ClientHandshake holds the client side of an in-progress ntor handshake.
+type ClientHandshake struct {
+	relayID    []byte // relay identity fingerprint
+	relayOnion []byte // relay public onion key B
+	eph        *ecdh.PrivateKey
+}
+
+// NewClientHandshake begins a handshake toward a relay identified by
+// relayID whose public onion key is relayOnion. The returned message is the
+// client's CREATE payload (the ephemeral public key X).
+func NewClientHandshake(relayID, relayOnion []byte) (*ClientHandshake, []byte, error) {
+	if len(relayOnion) != PublicKeyLen {
+		return nil, nil, fmt.Errorf("otr: bad onion key length %d", len(relayOnion))
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("otr: generating ephemeral key: %w", err)
+	}
+	hs := &ClientHandshake{
+		relayID:    append([]byte(nil), relayID...),
+		relayOnion: append([]byte(nil), relayOnion...),
+		eph:        eph,
+	}
+	return hs, eph.PublicKey().Bytes(), nil
+}
+
+// ServerHandshake processes a client CREATE payload on the relay side,
+// producing the CREATED reply (Y || AUTH) and the shared key material.
+func ServerHandshake(relayID []byte, onion *OnionKey, clientMsg []byte) (reply []byte, keys []byte, err error) {
+	if len(clientMsg) != PublicKeyLen {
+		return nil, nil, fmt.Errorf("otr: bad handshake message length %d", len(clientMsg))
+	}
+	clientPub, err := ecdh.X25519().NewPublicKey(clientMsg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("otr: bad client public key: %w", err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("otr: generating ephemeral key: %w", err)
+	}
+	xy, err := eph.ECDH(clientPub) // EXP(X, y)
+	if err != nil {
+		return nil, nil, fmt.Errorf("otr: ECDH: %w", err)
+	}
+	xb, err := onion.priv.ECDH(clientPub) // EXP(X, b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("otr: ECDH: %w", err)
+	}
+	secret := secretInput(xy, xb, relayID, onion.Public(),
+		clientMsg, eph.PublicKey().Bytes())
+	auth := authenticator(secret)
+	keys = HKDF(secret, []byte(protoID+":key"), []byte("expand"), KeyMaterialLen)
+	reply = append(eph.PublicKey().Bytes(), auth...)
+	return reply, keys, nil
+}
+
+// Finish processes the relay's CREATED reply on the client side, verifying
+// the authenticator and returning the shared key material.
+func (hs *ClientHandshake) Finish(reply []byte) ([]byte, error) {
+	if len(reply) != PublicKeyLen+AuthLen {
+		return nil, fmt.Errorf("otr: bad handshake reply length %d", len(reply))
+	}
+	serverEphB, authGot := reply[:PublicKeyLen], reply[PublicKeyLen:]
+	serverEph, err := ecdh.X25519().NewPublicKey(serverEphB)
+	if err != nil {
+		return nil, fmt.Errorf("otr: bad server ephemeral key: %w", err)
+	}
+	relayOnionPub, err := ecdh.X25519().NewPublicKey(hs.relayOnion)
+	if err != nil {
+		return nil, fmt.Errorf("otr: bad relay onion key: %w", err)
+	}
+	xy, err := hs.eph.ECDH(serverEph) // EXP(Y, x)
+	if err != nil {
+		return nil, fmt.Errorf("otr: ECDH: %w", err)
+	}
+	xb, err := hs.eph.ECDH(relayOnionPub) // EXP(B, x)
+	if err != nil {
+		return nil, fmt.Errorf("otr: ECDH: %w", err)
+	}
+	secret := secretInput(xy, xb, hs.relayID, hs.relayOnion,
+		hs.eph.PublicKey().Bytes(), serverEphB)
+	if !hmac.Equal(authGot, authenticator(secret)) {
+		return nil, errHandshake
+	}
+	return HKDF(secret, []byte(protoID+":key"), []byte("expand"), KeyMaterialLen), nil
+}
+
+func secretInput(xy, xb, id, b, x, y []byte) []byte {
+	h := sha256.New()
+	for _, part := range [][]byte{xy, xb, id, b, x, y, []byte(protoID)} {
+		h.Write(part)
+	}
+	return h.Sum(nil)
+}
+
+func authenticator(secret []byte) []byte {
+	m := hmac.New(sha256.New, secret)
+	m.Write([]byte(protoID + ":auth"))
+	return m.Sum(nil)
+}

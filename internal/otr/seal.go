@@ -1,0 +1,73 @@
+package otr
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+)
+
+// SealTo encrypts plaintext to the holder of the X25519 key pub as an
+// anonymous sealed box: ephemeral-key ECDH, HKDF, AES-GCM. Bento clients
+// use this to upload function code readable only inside an attested
+// enclave ("function uploads could also be encrypted and only decrypted
+// within the enclave", §6.3).
+func SealTo(pub []byte, plaintext []byte) ([]byte, error) {
+	recipient, err := ecdh.X25519().NewPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("otr: bad recipient key: %w", err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := eph.ECDH(recipient)
+	if err != nil {
+		return nil, err
+	}
+	aead, nonce, err := sealedBoxAEAD(shared, eph.PublicKey().Bytes(), pub)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), eph.PublicKey().Bytes()...)
+	return aead.Seal(out, nonce, plaintext, nil), nil
+}
+
+// OpenSealed decrypts a sealed box with the recipient's private key.
+func OpenSealed(key *OnionKey, box []byte) ([]byte, error) {
+	if len(box) < PublicKeyLen {
+		return nil, fmt.Errorf("otr: sealed box too short")
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(box[:PublicKeyLen])
+	if err != nil {
+		return nil, fmt.Errorf("otr: bad ephemeral key: %w", err)
+	}
+	shared, err := key.priv.ECDH(ephPub)
+	if err != nil {
+		return nil, err
+	}
+	aead, nonce, err := sealedBoxAEAD(shared, box[:PublicKeyLen], key.Public())
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, nonce, box[PublicKeyLen:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("otr: opening sealed box: %w", err)
+	}
+	return pt, nil
+}
+
+func sealedBoxAEAD(shared, ephPub, recipientPub []byte) (cipher.AEAD, []byte, error) {
+	info := append(append([]byte("bento-sealed-box:"), ephPub...), recipientPub...)
+	material := HKDF(shared, nil, info, 16+12)
+	block, err := aes.NewCipher(material[:16])
+	if err != nil {
+		return nil, nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aead, material[16:], nil
+}

@@ -1,0 +1,239 @@
+// Package policy implements the two policy mechanisms of the Bento
+// architecture: Tor-style exit-node policies (which constrain where a relay
+// will open outbound connections, and which Bento converts into per-
+// container network filters) and middlebox node policies with function
+// manifests (§5.5 of the paper), which constrain what API calls and
+// resources a function may use on a given Bento server.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExitRule is one accept/reject rule of an exit policy.
+type ExitRule struct {
+	Accept bool
+	Host   string // exact host name or "*"
+	Port   int    // port number, or 0 meaning any
+}
+
+// ExitPolicy is an ordered list of rules; the first matching rule wins.
+// An empty policy rejects everything (a non-exit relay).
+type ExitPolicy struct {
+	Rules []ExitRule
+}
+
+// ParseExitPolicy parses rules of the form "accept host:port" /
+// "reject host:port" where host may be "*" and port may be "*".
+func ParseExitPolicy(lines ...string) (*ExitPolicy, error) {
+	p := &ExitPolicy{}
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("policy: bad exit rule %q", line)
+		}
+		var accept bool
+		switch fields[0] {
+		case "accept":
+			accept = true
+		case "reject":
+			accept = false
+		default:
+			return nil, fmt.Errorf("policy: bad exit rule verb %q", fields[0])
+		}
+		i := strings.LastIndex(fields[1], ":")
+		if i < 0 {
+			return nil, fmt.Errorf("policy: bad exit rule target %q", fields[1])
+		}
+		host, portStr := fields[1][:i], fields[1][i+1:]
+		if host == "" {
+			return nil, fmt.Errorf("policy: empty host in rule %q", line)
+		}
+		port := 0
+		if portStr != "*" {
+			n, err := strconv.Atoi(portStr)
+			if err != nil || n < 1 || n > 65535 {
+				return nil, fmt.Errorf("policy: bad port in rule %q", line)
+			}
+			port = n
+		}
+		p.Rules = append(p.Rules, ExitRule{Accept: accept, Host: host, Port: port})
+	}
+	return p, nil
+}
+
+// AcceptAll returns a policy permitting every destination.
+func AcceptAll() *ExitPolicy {
+	return &ExitPolicy{Rules: []ExitRule{{Accept: true, Host: "*", Port: 0}}}
+}
+
+// RejectAll returns a policy permitting nothing (a non-exit relay).
+func RejectAll() *ExitPolicy { return &ExitPolicy{} }
+
+// Allows reports whether the policy permits connecting to host:port.
+func (p *ExitPolicy) Allows(host string, port int) bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.Rules {
+		if r.Host != "*" && r.Host != host {
+			continue
+		}
+		if r.Port != 0 && r.Port != port {
+			continue
+		}
+		return r.Accept
+	}
+	return false
+}
+
+// String renders the policy in its parseable form.
+func (p *ExitPolicy) String() string {
+	if p == nil || len(p.Rules) == 0 {
+		return "reject *:*"
+	}
+	var b strings.Builder
+	for i, r := range p.Rules {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		verb := "reject"
+		if r.Accept {
+			verb = "accept"
+		}
+		port := "*"
+		if r.Port != 0 {
+			port = strconv.Itoa(r.Port)
+		}
+		fmt.Fprintf(&b, "%s %s:%s", verb, r.Host, port)
+	}
+	return b.String()
+}
+
+// MarshalJSON encodes the policy as its string form.
+func (p *ExitPolicy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes the policy from its string form.
+func (p *ExitPolicy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseExitPolicy(strings.Split(s, ",")...)
+	if err != nil {
+		return err
+	}
+	p.Rules = parsed.Rules
+	return nil
+}
+
+// Middlebox is a middlebox node policy (§5.5): boolean values over the set
+// of API calls Bento exposes to functions, plus resource ceilings. Like
+// exit policies, it is published so clients can discover what a node is
+// willing to run.
+type Middlebox struct {
+	// Calls lists the permitted API calls, e.g. "net.dial", "fs.write",
+	// "stem.create_circuit". A call absent from the list is denied.
+	Calls []string `json:"calls"`
+	// MaxMemory is the per-function memory ceiling in bytes.
+	MaxMemory int64 `json:"max_memory"`
+	// MaxInstructions is the per-invocation interpreter instruction budget.
+	MaxInstructions int64 `json:"max_instructions"`
+	// MaxStorage is the per-function chroot storage ceiling in bytes.
+	MaxStorage int64 `json:"max_storage"`
+	// MaxContainers bounds concurrently running containers.
+	MaxContainers int `json:"max_containers"`
+	// Images lists the container images the operator offers, e.g.
+	// "python", "python-op-sgx".
+	Images []string `json:"images"`
+	// SpawnPoWBits, when nonzero, demands a hashcash proof of this
+	// difficulty with every container spawn — the §6.2/§11 "proofs of
+	// work" rate limit against function flooding.
+	SpawnPoWBits int `json:"spawn_pow_bits,omitempty"`
+}
+
+// DefaultMiddlebox returns a permissive policy suitable for tests and the
+// example topologies: all standard API calls, both standard images.
+func DefaultMiddlebox() *Middlebox {
+	return &Middlebox{
+		Calls: []string{
+			"net.dial", "fs.read", "fs.write", "tor.send",
+			"stem.create_circuit", "stem.launch_hs", "stem.close_circuit",
+			"bento.compose", "clock.now", "clock.sleep", "log",
+		},
+		MaxMemory:       32 << 20,
+		MaxInstructions: 50_000_000,
+		MaxStorage:      64 << 20,
+		MaxContainers:   16,
+		Images:          []string{"python", "python-op-sgx"},
+	}
+}
+
+// AllowsCall reports whether the policy permits an API call.
+func (m *Middlebox) AllowsCall(call string) bool {
+	for _, c := range m.Calls {
+		if c == call {
+			return true
+		}
+	}
+	return false
+}
+
+// OffersImage reports whether the operator provides the named container
+// image.
+func (m *Middlebox) OffersImage(image string) bool {
+	for _, im := range m.Images {
+		if im == image {
+			return true
+		}
+	}
+	return false
+}
+
+// Manifest is a function manifest (§5.5): the permissions a function
+// requests, compared against the node's middlebox policy before the
+// function is accepted. The sandbox is then constrained to exactly the
+// manifest's requests, even where the node policy would allow more.
+type Manifest struct {
+	Name         string   `json:"name"`
+	Image        string   `json:"image"`
+	Calls        []string `json:"calls"`
+	Memory       int64    `json:"memory"`
+	Instructions int64    `json:"instructions"`
+	Storage      int64    `json:"storage"`
+}
+
+// Check verifies that the manifest's requests are a subset of what the
+// middlebox policy permits. It returns nil if the function may run.
+func Check(m *Middlebox, man *Manifest) error {
+	if m == nil || man == nil {
+		return fmt.Errorf("policy: nil policy or manifest")
+	}
+	if man.Image != "" && !m.OffersImage(man.Image) {
+		return fmt.Errorf("policy: image %q not offered", man.Image)
+	}
+	for _, call := range man.Calls {
+		if !m.AllowsCall(call) {
+			return fmt.Errorf("policy: call %q not permitted by node policy", call)
+		}
+	}
+	if man.Memory > m.MaxMemory {
+		return fmt.Errorf("policy: requested memory %d exceeds limit %d", man.Memory, m.MaxMemory)
+	}
+	if man.Instructions > m.MaxInstructions {
+		return fmt.Errorf("policy: requested instructions %d exceed limit %d", man.Instructions, m.MaxInstructions)
+	}
+	if man.Storage > m.MaxStorage {
+		return fmt.Errorf("policy: requested storage %d exceeds limit %d", man.Storage, m.MaxStorage)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package policy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseExitPolicy(t *testing.T) {
+	p, err := ParseExitPolicy("accept *:80", "accept *:443", "reject *:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		host string
+		port int
+		want bool
+	}{
+		{"example.org", 80, true},
+		{"example.org", 443, true},
+		{"example.org", 22, false},
+		{"anything", 8080, false},
+	}
+	for _, c := range cases {
+		if got := p.Allows(c.host, c.port); got != c.want {
+			t.Errorf("Allows(%s,%d) = %v, want %v", c.host, c.port, got, c.want)
+		}
+	}
+}
+
+func TestExitPolicyFirstMatchWins(t *testing.T) {
+	p, err := ParseExitPolicy("reject evil:*", "accept *:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Allows("evil", 80) {
+		t.Fatal("reject rule not applied first")
+	}
+	if !p.Allows("good", 80) {
+		t.Fatal("fallthrough accept not applied")
+	}
+}
+
+func TestExitPolicyHostSpecificPort(t *testing.T) {
+	p, err := ParseExitPolicy("accept web:80", "reject *:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Allows("web", 80) || p.Allows("web", 81) || p.Allows("other", 80) {
+		t.Fatal("host:port rule misapplied")
+	}
+}
+
+func TestExitPolicyDefaults(t *testing.T) {
+	if !AcceptAll().Allows("x", 1) {
+		t.Fatal("AcceptAll rejected")
+	}
+	if RejectAll().Allows("x", 1) {
+		t.Fatal("RejectAll accepted")
+	}
+	var nilPolicy *ExitPolicy
+	if nilPolicy.Allows("x", 1) {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+func TestParseExitPolicyErrors(t *testing.T) {
+	bad := []string{
+		"allow *:80",     // bad verb
+		"accept *",       // missing port separator
+		"accept",         // missing target
+		"accept *:99999", // port out of range
+		"accept *:xyz",   // non-numeric port
+		"accept :80",     // empty host
+		"accept a b c",   // too many fields
+		"reject *:0",     // port zero invalid in text form
+	}
+	for _, line := range bad {
+		if _, err := ParseExitPolicy(line); err == nil {
+			t.Errorf("ParseExitPolicy(%q) succeeded, want error", line)
+		}
+	}
+	// Blank lines are skipped.
+	p, err := ParseExitPolicy("", "accept *:*", "  ")
+	if err != nil || len(p.Rules) != 1 {
+		t.Fatalf("blank-line handling: %v, %d rules", err, len(p.Rules))
+	}
+}
+
+func TestExitPolicyStringRoundTrip(t *testing.T) {
+	p, _ := ParseExitPolicy("accept *:80", "reject bad:*", "accept *:*")
+	s := p.String()
+	back, err := ParseExitPolicy(strings.Split(s, ",")...)
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", s, err)
+	}
+	if len(back.Rules) != len(p.Rules) {
+		t.Fatalf("rule count changed: %d -> %d", len(p.Rules), len(back.Rules))
+	}
+	for i := range p.Rules {
+		if back.Rules[i] != p.Rules[i] {
+			t.Fatalf("rule %d changed: %+v -> %+v", i, p.Rules[i], back.Rules[i])
+		}
+	}
+}
+
+func TestExitPolicyJSON(t *testing.T) {
+	p, _ := ParseExitPolicy("accept *:80", "reject *:*")
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExitPolicy
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Allows("h", 80) || back.Allows("h", 81) {
+		t.Fatal("JSON round trip lost semantics")
+	}
+	if err := json.Unmarshal([]byte(`"garbage rule"`), &back); err == nil {
+		t.Fatal("garbage policy accepted")
+	}
+}
+
+func TestMiddleboxAllows(t *testing.T) {
+	m := DefaultMiddlebox()
+	if !m.AllowsCall("net.dial") {
+		t.Fatal("default policy denies net.dial")
+	}
+	if m.AllowsCall("os.exec") {
+		t.Fatal("default policy allows os.exec")
+	}
+	if !m.OffersImage("python") || !m.OffersImage("python-op-sgx") {
+		t.Fatal("default images missing")
+	}
+	if m.OffersImage("rootkit") {
+		t.Fatal("unknown image offered")
+	}
+}
+
+func TestManifestCheckSubset(t *testing.T) {
+	m := DefaultMiddlebox()
+	ok := &Manifest{
+		Name:         "browser",
+		Image:        "python-op-sgx",
+		Calls:        []string{"net.dial", "tor.send"},
+		Memory:       16 << 20,
+		Instructions: 1_000_000,
+		Storage:      1 << 20,
+	}
+	if err := Check(m, ok); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+}
+
+func TestManifestCheckViolations(t *testing.T) {
+	m := DefaultMiddlebox()
+	cases := []struct {
+		name string
+		man  Manifest
+	}{
+		{"forbidden call", Manifest{Calls: []string{"os.exec"}}},
+		{"too much memory", Manifest{Memory: m.MaxMemory + 1}},
+		{"too many instructions", Manifest{Instructions: m.MaxInstructions + 1}},
+		{"too much storage", Manifest{Storage: m.MaxStorage + 1}},
+		{"unknown image", Manifest{Image: "custom-evil"}},
+	}
+	for _, c := range cases {
+		if err := Check(m, &c.man); err == nil {
+			t.Errorf("%s: manifest accepted", c.name)
+		}
+	}
+	if err := Check(nil, &Manifest{}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if err := Check(m, nil); err == nil {
+		t.Error("nil manifest accepted")
+	}
+}
+
+// Property: manifest ⊆ policy ⇔ Check passes, for generated call sets.
+func TestManifestSubsetProperty(t *testing.T) {
+	universe := []string{"net.dial", "fs.read", "fs.write", "tor.send", "os.exec", "kernel.patch"}
+	m := &Middlebox{
+		Calls:           []string{"net.dial", "fs.read", "fs.write", "tor.send"},
+		MaxMemory:       1 << 20,
+		MaxInstructions: 1000,
+		MaxStorage:      1 << 20,
+		MaxContainers:   1,
+		Images:          []string{"python"},
+	}
+	check := func(mask uint8) bool {
+		var calls []string
+		subset := true
+		for i, c := range universe {
+			if mask&(1<<i) != 0 {
+				calls = append(calls, c)
+				if !m.AllowsCall(c) {
+					subset = false
+				}
+			}
+		}
+		err := Check(m, &Manifest{Calls: calls})
+		return (err == nil) == subset
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

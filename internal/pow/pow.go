@@ -1,0 +1,75 @@
+// Package pow implements the hashcash-style client puzzles the paper
+// proposes for rate limiting (§6.2, §11: "proofs of work" against
+// function-flooding and introduction DDoS). A proof binds a context tag
+// and payload to a nonce whose SHA-256 digest has a demanded number of
+// leading zero bits.
+package pow
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// MaxBits bounds advertised difficulty so a malicious server cannot
+// demand unbounded client work.
+const MaxBits = 30
+
+func digest(tag string, payload []byte, nonce uint64) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(tag))
+	h.Write([]byte{':'})
+	h.Write(payload)
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	h.Write(nb[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// LeadingZeroBits counts a digest's leading zero bits.
+func LeadingZeroBits(d [32]byte) int {
+	bits := 0
+	for _, b := range d {
+		if b == 0 {
+			bits += 8
+			continue
+		}
+		for mask := byte(0x80); mask != 0; mask >>= 1 {
+			if b&mask != 0 {
+				return bits
+			}
+			bits++
+		}
+	}
+	return bits
+}
+
+// Solve finds a nonce satisfying the difficulty. Expected cost is 2^bits
+// hashes; bits = 0 returns immediately.
+func Solve(tag string, payload []byte, bits int) (uint64, error) {
+	if bits < 0 || bits > MaxBits {
+		return 0, fmt.Errorf("pow: difficulty %d out of range [0, %d]", bits, MaxBits)
+	}
+	if bits == 0 {
+		return 0, nil
+	}
+	for nonce := uint64(0); ; nonce++ {
+		if LeadingZeroBits(digest(tag, payload, nonce)) >= bits {
+			return nonce, nil
+		}
+	}
+}
+
+// Verify checks a proof. Zero difficulty always verifies; difficulties
+// beyond MaxBits never do.
+func Verify(tag string, payload []byte, nonce uint64, bits int) bool {
+	if bits <= 0 {
+		return true
+	}
+	if bits > MaxBits {
+		return false
+	}
+	return LeadingZeroBits(digest(tag, payload, nonce)) >= bits
+}

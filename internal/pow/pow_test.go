@@ -1,0 +1,77 @@
+package pow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveVerify(t *testing.T) {
+	for _, bits := range []int{0, 1, 6, 10} {
+		nonce, err := Solve("tag", []byte("payload"), bits)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if !Verify("tag", []byte("payload"), nonce, bits) {
+			t.Fatalf("bits=%d: own solution rejected", bits)
+		}
+	}
+}
+
+func TestBinding(t *testing.T) {
+	nonce, _ := Solve("tag", []byte("payload"), 10)
+	if Verify("other-tag", []byte("payload"), nonce, 10) {
+		t.Fatal("proof transferred across tags")
+	}
+	if Verify("tag", []byte("other-payload"), nonce, 10) {
+		t.Fatal("proof transferred across payloads")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if _, err := Solve("t", nil, MaxBits+1); err == nil {
+		t.Fatal("over-limit difficulty accepted")
+	}
+	if _, err := Solve("t", nil, -1); err == nil {
+		t.Fatal("negative difficulty accepted")
+	}
+	if Verify("t", nil, 0, MaxBits+1) {
+		t.Fatal("over-limit verification passed")
+	}
+	if !Verify("t", nil, 99, 0) {
+		t.Fatal("zero difficulty must verify")
+	}
+	if !Verify("t", nil, 99, -3) {
+		t.Fatal("negative difficulty must verify trivially")
+	}
+}
+
+// Property: a valid proof at difficulty b verifies at every difficulty
+// ≤ b and (statistically) fails at much higher difficulties.
+func TestMonotoneDifficultyProperty(t *testing.T) {
+	check := func(payload []byte) bool {
+		const bits = 8
+		nonce, err := Solve("t", payload, bits)
+		if err != nil {
+			return false
+		}
+		for lower := 0; lower <= bits; lower++ {
+			if !Verify("t", payload, nonce, lower) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve12Bits(b *testing.B) {
+	payload := []byte("challenge-payload")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve("bench", append(payload, byte(i)), 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

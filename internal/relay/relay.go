@@ -1,0 +1,666 @@
+// Package relay implements an onion relay of the emulated Tor overlay:
+// circuit creation and extension, relay-cell recognition and forwarding,
+// exit streams constrained by exit policies, introduction-point and
+// rendezvous-point duties for hidden services, and DROP-cell handling for
+// cover traffic.
+//
+// One simplification relative to production Tor: each circuit hop uses a
+// dedicated link connection rather than multiplexing many circuits over one
+// TLS connection. Cell structure, layered crypto, and per-hop recognition
+// are unchanged; only link-level multiplexing is elided (see DESIGN.md).
+package relay
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"github.com/bento-nfv/bento/internal/cell"
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/otr"
+	"github.com/bento-nfv/bento/internal/policy"
+	"github.com/bento-nfv/bento/internal/simnet"
+)
+
+// ORPort is the port relays listen on for onion-routing connections.
+const ORPort = 9001
+
+// Config configures a relay.
+type Config struct {
+	Nickname   string
+	Flags      []string
+	ExitPolicy *policy.ExitPolicy
+	// Middlebox and BentoAddr advertise a co-resident Bento server.
+	Middlebox *policy.Middlebox
+	BentoAddr string
+	// Quiet suppresses per-circuit log output.
+	Quiet bool
+}
+
+// Relay is one onion router.
+type Relay struct {
+	host    *simnet.Host
+	cfg     Config
+	idPub   ed25519.PublicKey
+	idPriv  ed25519.PrivateKey
+	onion   *otr.OnionKey
+	ln      net.Listener
+	closing chan struct{}
+
+	mu         sync.Mutex
+	rendezvous map[string]*circuitEnd // cookie (hex) -> waiting client circuit
+	intros     map[string]*circuitEnd // service ID -> intro circuit
+	hsdir      map[string][]byte      // service ID -> raw descriptor (HSDir duty)
+	conns      map[net.Conn]struct{}  // live inbound links, for Crash
+}
+
+// New creates and starts a relay on the given host.
+func New(host *simnet.Host, cfg Config) (*Relay, error) {
+	if cfg.ExitPolicy == nil {
+		cfg.ExitPolicy = policy.RejectAll()
+	}
+	idPub, idPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("relay: identity key: %w", err)
+	}
+	onion, err := otr.NewOnionKey()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := host.Listen(ORPort)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{
+		host:       host,
+		cfg:        cfg,
+		idPub:      idPub,
+		idPriv:     idPriv,
+		onion:      onion,
+		ln:         ln,
+		closing:    make(chan struct{}),
+		rendezvous: make(map[string]*circuitEnd),
+		intros:     make(map[string]*circuitEnd),
+		hsdir:      make(map[string][]byte),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Host returns the relay's emulated host.
+func (r *Relay) Host() *simnet.Host { return r.host }
+
+// Nickname returns the relay's nickname.
+func (r *Relay) Nickname() string { return r.cfg.Nickname }
+
+// Descriptor builds and signs the relay's directory descriptor.
+func (r *Relay) Descriptor() (*dirauth.Descriptor, error) {
+	d := &dirauth.Descriptor{
+		Nickname:   r.cfg.Nickname,
+		Address:    fmt.Sprintf("%s:%d", r.host.Name(), ORPort),
+		Identity:   r.idPub,
+		OnionKey:   r.onion.Public(),
+		Flags:      r.cfg.Flags,
+		ExitPolicy: r.cfg.ExitPolicy,
+		Middlebox:  r.cfg.Middlebox,
+		BentoAddr:  r.cfg.BentoAddr,
+	}
+	if err := d.Sign(r.idPriv); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Fingerprint returns the relay's identity fingerprint as used in
+// handshakes.
+func (r *Relay) Fingerprint() string {
+	d := dirauth.Descriptor{Identity: r.idPub}
+	return d.Fingerprint()
+}
+
+// Close shuts the relay down gracefully: no new connections; existing
+// circuits continue until their endpoints close them.
+func (r *Relay) Close() error {
+	select {
+	case <-r.closing:
+		return nil
+	default:
+	}
+	close(r.closing)
+	return r.ln.Close()
+}
+
+// Crash simulates the relay's machine dying: the listener and every live
+// circuit link are severed immediately, so downstream and upstream
+// neighbors observe connection failures (the failure-injection primitive
+// behind "functions fate-share with the middlebox nodes they run on").
+func (r *Relay) Crash() {
+	r.Close()
+	r.mu.Lock()
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (r *Relay) logf(format string, args ...any) {
+	if !r.cfg.Quiet {
+		log.Printf("relay %s: "+format, append([]any{r.cfg.Nickname}, args...)...)
+	}
+}
+
+func (r *Relay) acceptLoop() {
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		go r.serveConn(conn)
+	}
+}
+
+// circuitEnd is this relay's state for one circuit.
+type circuitEnd struct {
+	relay  *Relay
+	circID uint32
+	prev   net.Conn // toward the circuit origin
+	layer  *otr.Layer
+
+	// bwMu serializes backward-direction crypto and writes to prev:
+	// the rolling digest must advance in exactly write order.
+	bwMu sync.Mutex
+
+	mu         sync.Mutex
+	next       net.Conn // toward the next hop, nil at the last hop
+	nextCircID uint32
+	joined     *circuitEnd // rendezvous splice
+	streams    map[uint16]net.Conn
+	destroyed  bool
+}
+
+// serveConn handles one inbound link (= one circuit).
+func (r *Relay) serveConn(conn net.Conn) {
+	r.mu.Lock()
+	r.conns[conn] = struct{}{}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+		conn.Close()
+	}()
+
+	// First cell must be CREATE.
+	c, err := cell.Read(conn)
+	if err != nil {
+		return
+	}
+	if c.Cmd != cell.CmdCreate {
+		return
+	}
+	reply, keys, err := otr.ServerHandshake([]byte(r.Fingerprint()), r.onion, c.Payload[:otr.PublicKeyLen])
+	if err != nil {
+		r.logf("handshake failed: %v", err)
+		return
+	}
+	layer, err := otr.NewLayer(keys)
+	if err != nil {
+		return
+	}
+	created := &cell.Cell{CircID: c.CircID, Cmd: cell.CmdCreated}
+	copy(created.Payload[:], reply)
+	if err := cell.Write(conn, created); err != nil {
+		return
+	}
+
+	ce := &circuitEnd{
+		relay:   r,
+		circID:  c.CircID,
+		prev:    conn,
+		layer:   layer,
+		streams: make(map[uint16]net.Conn),
+	}
+	defer ce.teardown()
+
+	for {
+		c, err := cell.Read(conn)
+		if err != nil {
+			return
+		}
+		switch c.Cmd {
+		case cell.CmdRelay:
+			if !r.handleRelay(ce, c) {
+				return
+			}
+		case cell.CmdDestroy:
+			return
+		case cell.CmdPadding:
+			// Link padding: discard.
+		default:
+			r.logf("unexpected cell %v mid-circuit", c.Cmd)
+			return
+		}
+	}
+}
+
+// handleRelay processes one forward relay cell. It returns false when the
+// circuit should be torn down.
+func (r *Relay) handleRelay(ce *circuitEnd, c *cell.Cell) bool {
+	payload := c.Payload[:]
+	ce.layer.ApplyForward(payload)
+
+	if cell.Recognized(payload) && ce.layer.VerifyForward(payload, cell.DigestOffset) {
+		hdr, data, err := cell.ParseRelay(payload)
+		if err != nil {
+			r.logf("bad relay payload: %v", err)
+			return false
+		}
+		return r.dispatchRelay(ce, hdr, data)
+	}
+
+	// Not addressed to us: forward along the circuit.
+	ce.mu.Lock()
+	next, nextID := ce.next, ce.nextCircID
+	joined := ce.joined
+	ce.mu.Unlock()
+	switch {
+	case next != nil:
+		fwd := &cell.Cell{CircID: nextID, Cmd: cell.CmdRelay}
+		copy(fwd.Payload[:], payload)
+		if err := cell.Write(next, fwd); err != nil {
+			return false
+		}
+		return true
+	case joined != nil:
+		// Rendezvous splice: the still-encrypted payload continues as a
+		// backward cell on the joined circuit.
+		return joined.relayBackwardRaw(payload) == nil
+	default:
+		r.logf("unrecognized relay cell at last hop, dropping circuit")
+		return false
+	}
+}
+
+func (r *Relay) dispatchRelay(ce *circuitEnd, hdr cell.RelayHeader, data []byte) bool {
+	switch hdr.Cmd {
+	case cell.RelayExtend:
+		return r.handleExtend(ce, hdr, data)
+	case cell.RelayBegin:
+		return r.handleBegin(ce, hdr, data)
+	case cell.RelayData:
+		return r.handleData(ce, hdr, data)
+	case cell.RelayEnd:
+		ce.closeStream(hdr.StreamID)
+		return true
+	case cell.RelayDrop:
+		// Cover traffic: absorbed here by design.
+		return true
+	case cell.RelayEstablishIntro:
+		return r.handleEstablishIntro(ce, hdr, data)
+	case cell.RelayIntroduce1:
+		return r.handleIntroduce1(ce, hdr, data)
+	case cell.RelayEstablishRendezvous:
+		return r.handleEstablishRendezvous(ce, hdr, data)
+	case cell.RelayRendezvous1:
+		return r.handleRendezvous1(ce, hdr, data)
+	default:
+		r.logf("unhandled relay command %v", hdr.Cmd)
+		return true
+	}
+}
+
+// handleExtend dials the requested next hop, performs CREATE/CREATED on
+// behalf of the client, and returns the reply in an EXTENDED cell.
+func (r *Relay) handleExtend(ce *circuitEnd, hdr cell.RelayHeader, data []byte) bool {
+	var ext cell.ExtendPayload
+	if err := cell.DecodeControl(data, &ext); err != nil {
+		return false
+	}
+	ce.mu.Lock()
+	already := ce.next != nil
+	ce.mu.Unlock()
+	if already {
+		r.logf("EXTEND on already-extended circuit")
+		return false
+	}
+	nextConn, err := r.host.Dial(ext.Addr)
+	if err != nil {
+		r.logf("extend dial %s: %v", ext.Addr, err)
+		return false
+	}
+	var circID [4]byte
+	rand.Read(circID[:])
+	nextID := uint32(circID[0])<<24 | uint32(circID[1])<<16 | uint32(circID[2])<<8 | uint32(circID[3])
+	create := &cell.Cell{CircID: nextID, Cmd: cell.CmdCreate}
+	copy(create.Payload[:], ext.Handshake)
+	if err := cell.Write(nextConn, create); err != nil {
+		nextConn.Close()
+		return false
+	}
+	reply, err := cell.Read(nextConn)
+	if err != nil || reply.Cmd != cell.CmdCreated {
+		nextConn.Close()
+		return false
+	}
+	ce.mu.Lock()
+	ce.next = nextConn
+	ce.nextCircID = nextID
+	ce.mu.Unlock()
+	go ce.backwardPump(nextConn)
+
+	extended, err := cell.EncodeControl(&cell.ExtendedPayload{
+		Reply: reply.Payload[:otr.PublicKeyLen+otr.AuthLen],
+	})
+	if err != nil {
+		return false
+	}
+	return ce.sendBackward(cell.RelayHeader{Cmd: cell.RelayExtended}, extended) == nil
+}
+
+// backwardPump forwards cells arriving from the next hop toward the
+// client, adding this hop's backward encryption layer.
+func (ce *circuitEnd) backwardPump(next net.Conn) {
+	for {
+		c, err := cell.Read(next)
+		if err != nil {
+			ce.destroyFromBehind()
+			return
+		}
+		switch c.Cmd {
+		case cell.CmdRelay:
+			if err := ce.relayBackwardRaw(c.Payload[:]); err != nil {
+				return
+			}
+		case cell.CmdDestroy:
+			ce.destroyFromBehind()
+			return
+		}
+	}
+}
+
+// relayBackwardRaw applies this hop's backward keystream to an
+// already-formed relay payload and writes it toward the client.
+func (ce *circuitEnd) relayBackwardRaw(payload []byte) error {
+	ce.bwMu.Lock()
+	defer ce.bwMu.Unlock()
+	c := &cell.Cell{CircID: ce.circID, Cmd: cell.CmdRelay}
+	copy(c.Payload[:], payload)
+	ce.layer.ApplyBackward(c.Payload[:])
+	return cell.Write(ce.prev, c)
+}
+
+// sendBackward originates a backward relay cell at this hop (responses,
+// exit stream data): seal with the backward digest, encrypt, send.
+func (ce *circuitEnd) sendBackward(hdr cell.RelayHeader, data []byte) error {
+	ce.bwMu.Lock()
+	defer ce.bwMu.Unlock()
+	c := &cell.Cell{CircID: ce.circID, Cmd: cell.CmdRelay}
+	if err := cell.PackRelay(c.Payload[:], hdr, data); err != nil {
+		return err
+	}
+	ce.layer.SealBackward(c.Payload[:], cell.DigestOffset)
+	ce.layer.ApplyBackward(c.Payload[:])
+	return cell.Write(ce.prev, c)
+}
+
+// handleBegin opens an exit stream, enforcing the exit policy. The special
+// host "localhost" resolves to the relay's own machine, which is how
+// clients reach a co-resident Bento server through an exit circuit.
+func (r *Relay) handleBegin(ce *circuitEnd, hdr cell.RelayHeader, data []byte) bool {
+	var begin cell.BeginPayload
+	if err := cell.DecodeControl(data, &begin); err != nil {
+		return false
+	}
+	host, port, ok := splitTarget(begin.Target)
+	if !ok {
+		return endStream(ce, hdr.StreamID, "bad target")
+	}
+	policyHost := host
+	if host == "localhost" {
+		host = r.host.Name()
+	}
+	if !r.cfg.ExitPolicy.Allows(policyHost, port) {
+		r.logf("exit policy refuses %s:%d", policyHost, port)
+		return endStream(ce, hdr.StreamID, "exit policy refused")
+	}
+	remote, err := r.host.Dial(fmt.Sprintf("%s:%d", host, port))
+	if err != nil {
+		return endStream(ce, hdr.StreamID, "connect failed")
+	}
+	ce.mu.Lock()
+	if ce.destroyed {
+		ce.mu.Unlock()
+		remote.Close()
+		return false
+	}
+	ce.streams[hdr.StreamID] = remote
+	ce.mu.Unlock()
+
+	go ce.exitReader(hdr.StreamID, remote)
+	return ce.sendBackward(cell.RelayHeader{StreamID: hdr.StreamID, Cmd: cell.RelayConnected}, nil) == nil
+}
+
+// exitReader pumps data from the external destination back down the
+// circuit as DATA cells.
+func (ce *circuitEnd) exitReader(streamID uint16, remote net.Conn) {
+	buf := make([]byte, cell.MaxRelayData)
+	for {
+		n, err := remote.Read(buf)
+		if n > 0 {
+			if werr := ce.sendBackward(cell.RelayHeader{StreamID: streamID, Cmd: cell.RelayData}, buf[:n]); werr != nil {
+				remote.Close()
+				return
+			}
+		}
+		if err != nil {
+			end, _ := cell.EncodeControl(&cell.EndPayload{Reason: "eof"})
+			ce.sendBackward(cell.RelayHeader{StreamID: streamID, Cmd: cell.RelayEnd}, end)
+			ce.closeStream(streamID)
+			return
+		}
+	}
+}
+
+func (r *Relay) handleData(ce *circuitEnd, hdr cell.RelayHeader, data []byte) bool {
+	ce.mu.Lock()
+	remote := ce.streams[hdr.StreamID]
+	ce.mu.Unlock()
+	if remote == nil {
+		// Stream already closed; tolerate in-flight data.
+		return true
+	}
+	if _, err := remote.Write(data); err != nil {
+		ce.closeStream(hdr.StreamID)
+	}
+	return true
+}
+
+func (ce *circuitEnd) closeStream(streamID uint16) {
+	ce.mu.Lock()
+	remote := ce.streams[streamID]
+	delete(ce.streams, streamID)
+	ce.mu.Unlock()
+	if remote != nil {
+		remote.Close()
+	}
+}
+
+func endStream(ce *circuitEnd, streamID uint16, reason string) bool {
+	end, err := cell.EncodeControl(&cell.EndPayload{Reason: reason})
+	if err != nil {
+		return false
+	}
+	return ce.sendBackward(cell.RelayHeader{StreamID: streamID, Cmd: cell.RelayEnd}, end) == nil
+}
+
+// --- Hidden-service duties -------------------------------------------------
+
+func (r *Relay) handleEstablishIntro(ce *circuitEnd, _ cell.RelayHeader, data []byte) bool {
+	var est cell.EstablishIntroPayload
+	if err := cell.DecodeControl(data, &est); err != nil {
+		return false
+	}
+	pub, err := hex.DecodeString(est.ServiceID)
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	if !ed25519.Verify(pub, []byte("establish-intro:"+est.ServiceID), est.Signature) {
+		r.logf("ESTABLISH_INTRO bad signature for %s", est.ServiceID)
+		return false
+	}
+	r.mu.Lock()
+	r.intros[est.ServiceID] = ce
+	r.mu.Unlock()
+	return ce.sendBackward(cell.RelayHeader{Cmd: cell.RelayIntroEstablished}, nil) == nil
+}
+
+func (r *Relay) handleIntroduce1(ce *circuitEnd, _ cell.RelayHeader, data []byte) bool {
+	var intro cell.Introduce1Payload
+	if err := cell.DecodeControl(data, &intro); err != nil {
+		return false
+	}
+	r.mu.Lock()
+	svc := r.intros[intro.ServiceID]
+	r.mu.Unlock()
+	if svc == nil {
+		r.logf("INTRODUCE1 for unknown service %s", intro.ServiceID)
+		return endIntroduce(ce, "no such service")
+	}
+	// Forward the opaque inner payload to the service as INTRODUCE2.
+	if err := svc.sendBackward(cell.RelayHeader{Cmd: cell.RelayIntroduce2}, intro.Inner); err != nil {
+		return endIntroduce(ce, "service unreachable")
+	}
+	return ce.sendBackward(cell.RelayHeader{Cmd: cell.RelayIntroduceAck}, nil) == nil
+}
+
+func endIntroduce(ce *circuitEnd, reason string) bool {
+	data, _ := cell.EncodeControl(&cell.EndPayload{Reason: reason})
+	return ce.sendBackward(cell.RelayHeader{Cmd: cell.RelayEnd}, data) == nil
+}
+
+func (r *Relay) handleEstablishRendezvous(ce *circuitEnd, _ cell.RelayHeader, data []byte) bool {
+	var est cell.EstablishRendezvousPayload
+	if err := cell.DecodeControl(data, &est); err != nil {
+		return false
+	}
+	if len(est.Cookie) < 8 {
+		return false
+	}
+	key := hex.EncodeToString(est.Cookie)
+	r.mu.Lock()
+	r.rendezvous[key] = ce
+	r.mu.Unlock()
+	return ce.sendBackward(cell.RelayHeader{Cmd: cell.RelayRendezvousEstablished}, nil) == nil
+}
+
+func (r *Relay) handleRendezvous1(ce *circuitEnd, _ cell.RelayHeader, data []byte) bool {
+	var rv cell.Rendezvous1Payload
+	if err := cell.DecodeControl(data, &rv); err != nil {
+		return false
+	}
+	key := hex.EncodeToString(rv.Cookie)
+	r.mu.Lock()
+	client := r.rendezvous[key]
+	delete(r.rendezvous, key)
+	r.mu.Unlock()
+	if client == nil {
+		r.logf("RENDEZVOUS1 with unknown cookie")
+		return false
+	}
+	// Splice the two circuits.
+	client.mu.Lock()
+	client.joined = ce
+	client.mu.Unlock()
+	ce.mu.Lock()
+	ce.joined = client
+	ce.mu.Unlock()
+
+	reply, err := cell.EncodeControl(&cell.Rendezvous2Payload{Reply: rv.Reply})
+	if err != nil {
+		return false
+	}
+	return client.sendBackward(cell.RelayHeader{Cmd: cell.RelayRendezvous2}, reply) == nil
+}
+
+// --- teardown ---------------------------------------------------------------
+
+func (ce *circuitEnd) teardown() {
+	ce.mu.Lock()
+	if ce.destroyed {
+		ce.mu.Unlock()
+		return
+	}
+	ce.destroyed = true
+	next := ce.next
+	joined := ce.joined
+	streams := ce.streams
+	ce.streams = map[uint16]net.Conn{}
+	ce.mu.Unlock()
+
+	for _, s := range streams {
+		s.Close()
+	}
+	if next != nil {
+		cell.Write(next, &cell.Cell{CircID: ce.nextCircID, Cmd: cell.CmdDestroy})
+		next.Close()
+	}
+	if joined != nil {
+		joined.mu.Lock()
+		joined.joined = nil
+		joined.mu.Unlock()
+		// Rendezvous teardown propagates to the other side, as a DESTROY
+		// does on a normal circuit.
+		joined.destroyFromBehind()
+	}
+	ce.cleanupRelayMaps()
+}
+
+// destroyFromBehind tears the circuit down when the next hop vanished.
+func (ce *circuitEnd) destroyFromBehind() {
+	ce.mu.Lock()
+	if ce.destroyed {
+		ce.mu.Unlock()
+		return
+	}
+	ce.mu.Unlock()
+	cell.Write(ce.prev, &cell.Cell{CircID: ce.circID, Cmd: cell.CmdDestroy})
+	ce.prev.Close() // unblocks serveConn, which runs teardown
+}
+
+func (ce *circuitEnd) cleanupRelayMaps() {
+	r := ce.relay
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.rendezvous {
+		if v == ce {
+			delete(r.rendezvous, k)
+		}
+	}
+	for k, v := range r.intros {
+		if v == ce {
+			delete(r.intros, k)
+		}
+	}
+}
+
+func splitTarget(s string) (string, int, bool) {
+	i := strings.LastIndex(s, ":")
+	if i <= 0 {
+		return "", 0, false
+	}
+	var port int
+	if _, err := fmt.Sscanf(s[i+1:], "%d", &port); err != nil || port < 1 || port > 65535 {
+		return "", 0, false
+	}
+	return s[:i], port, true
+}

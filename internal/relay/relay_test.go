@@ -1,0 +1,410 @@
+package relay
+
+import (
+	"bytes"
+	"crypto/rand"
+
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/cell"
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/otr"
+	"github.com/bento-nfv/bento/internal/policy"
+	"github.com/bento-nfv/bento/internal/simnet"
+)
+
+// rig is a single relay plus a raw link to drive it at the cell level.
+type rig struct {
+	net   *simnet.Network
+	relay *Relay
+	conn  net.Conn
+	layer *otr.Layer
+	circ  uint32
+}
+
+// newRig creates a relay and completes a CREATE handshake with it.
+func newRig(t *testing.T, exitPol *policy.ExitPolicy) *rig {
+	t.Helper()
+	n := simnet.NewNetwork(simnet.NewClock(0.001), time.Millisecond)
+	host := n.AddHost("relay0", 0)
+	r, err := New(host, Config{
+		Nickname:   "relay0",
+		Flags:      []string{dirauth.FlagGuard, dirauth.FlagExit},
+		ExitPolicy: exitPol,
+		Quiet:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	client := n.AddHost("client", 0)
+	conn, err := client.Dial("relay0:9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := r.Descriptor()
+	hs, msg, err := otr.NewClientHandshake([]byte(d.Fingerprint()), d.OnionKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	create := &cell.Cell{CircID: 7, Cmd: cell.CmdCreate}
+	copy(create.Payload[:], msg)
+	if err := cell.Write(conn, create); err != nil {
+		t.Fatal(err)
+	}
+	created, err := cell.Read(conn)
+	if err != nil || created.Cmd != cell.CmdCreated {
+		t.Fatalf("no CREATED: %v", err)
+	}
+	keys, err := hs.Finish(created.Payload[:otr.PublicKeyLen+otr.AuthLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := otr.NewLayer(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{net: n, relay: r, conn: conn, layer: layer, circ: 7}
+}
+
+// sendRelay packs, seals, encrypts, and writes a relay cell.
+func (rg *rig) sendRelay(t *testing.T, hdr cell.RelayHeader, data []byte) {
+	t.Helper()
+	c := &cell.Cell{CircID: rg.circ, Cmd: cell.CmdRelay}
+	if err := cell.PackRelay(c.Payload[:], hdr, data); err != nil {
+		t.Fatal(err)
+	}
+	rg.layer.SealForward(c.Payload[:], cell.DigestOffset)
+	rg.layer.ApplyForward(c.Payload[:])
+	if err := cell.Write(rg.conn, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readRelay reads and decrypts a backward relay cell.
+func (rg *rig) readRelay(t *testing.T) (cell.RelayHeader, []byte) {
+	t.Helper()
+	for {
+		c, err := cell.Read(rg.conn)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if c.Cmd == cell.CmdDestroy {
+			t.Fatal("circuit destroyed")
+		}
+		rg.layer.ApplyBackward(c.Payload[:])
+		if !cell.Recognized(c.Payload[:]) || !rg.layer.VerifyBackward(c.Payload[:], cell.DigestOffset) {
+			t.Fatal("unrecognized backward cell at single-hop client")
+		}
+		hdr, data, err := cell.ParseRelay(c.Payload[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hdr, data
+	}
+}
+
+func TestCreateAndExitStream(t *testing.T) {
+	rg := newRig(t, policy.AcceptAll())
+	// Destination echo server.
+	echo := rg.net.AddHost("dest", 0)
+	ln, _ := echo.Listen(80)
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c)
+	}()
+
+	begin, _ := cell.EncodeControl(&cell.BeginPayload{Target: "dest:80"})
+	rg.sendRelay(t, cell.RelayHeader{StreamID: 1, Cmd: cell.RelayBegin}, begin)
+	hdr, _ := rg.readRelay(t)
+	if hdr.Cmd != cell.RelayConnected {
+		t.Fatalf("got %v, want CONNECTED", hdr.Cmd)
+	}
+
+	rg.sendRelay(t, cell.RelayHeader{StreamID: 1, Cmd: cell.RelayData}, []byte("payload"))
+	hdr, data := rg.readRelay(t)
+	if hdr.Cmd != cell.RelayData || !bytes.Equal(data, []byte("payload")) {
+		t.Fatalf("echo mismatch: %v %q", hdr.Cmd, data)
+	}
+}
+
+func TestExitPolicyRefusal(t *testing.T) {
+	restrictive, _ := policy.ParseExitPolicy("reject *:*")
+	rg := newRig(t, restrictive)
+	rg.net.AddHost("dest", 0)
+	begin, _ := cell.EncodeControl(&cell.BeginPayload{Target: "dest:80"})
+	rg.sendRelay(t, cell.RelayHeader{StreamID: 1, Cmd: cell.RelayBegin}, begin)
+	hdr, _ := rg.readRelay(t)
+	if hdr.Cmd != cell.RelayEnd {
+		t.Fatalf("got %v, want END for refused exit", hdr.Cmd)
+	}
+}
+
+func TestBeginMalformedTarget(t *testing.T) {
+	rg := newRig(t, policy.AcceptAll())
+	for _, target := range []string{"", "noport", "host:0", "host:99999"} {
+		begin, _ := cell.EncodeControl(&cell.BeginPayload{Target: target})
+		rg.sendRelay(t, cell.RelayHeader{StreamID: 1, Cmd: cell.RelayBegin}, begin)
+		hdr, _ := rg.readRelay(t)
+		if hdr.Cmd != cell.RelayEnd {
+			t.Fatalf("target %q: got %v, want END", target, hdr.Cmd)
+		}
+	}
+}
+
+func TestDropAbsorbed(t *testing.T) {
+	rg := newRig(t, policy.AcceptAll())
+	// DROP cells are absorbed; the circuit stays healthy.
+	for i := 0; i < 3; i++ {
+		rg.sendRelay(t, cell.RelayHeader{Cmd: cell.RelayDrop}, bytes.Repeat([]byte{0xCC}, 100))
+	}
+	// Circuit still works afterwards.
+	echo := rg.net.AddHost("dest2", 0)
+	ln, _ := echo.Listen(80)
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	begin, _ := cell.EncodeControl(&cell.BeginPayload{Target: "dest2:80"})
+	rg.sendRelay(t, cell.RelayHeader{StreamID: 2, Cmd: cell.RelayBegin}, begin)
+	if hdr, _ := rg.readRelay(t); hdr.Cmd != cell.RelayConnected {
+		t.Fatalf("circuit unhealthy after drops: %v", hdr.Cmd)
+	}
+}
+
+func TestTamperedCellKillsCircuit(t *testing.T) {
+	rg := newRig(t, policy.AcceptAll())
+	// A garbled relay cell at the last hop must tear the circuit down.
+	c := &cell.Cell{CircID: rg.circ, Cmd: cell.CmdRelay}
+	rand.Read(c.Payload[:])
+	if err := cell.Write(rg.conn, c); err != nil {
+		t.Fatal(err)
+	}
+	rg.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := cell.Read(rg.conn)
+	if err == nil && got.Cmd != cell.CmdDestroy {
+		t.Fatalf("expected DESTROY or EOF, got %v", got.Cmd)
+	}
+}
+
+func TestEstablishIntroRequiresValidSignature(t *testing.T) {
+	rg := newRig(t, policy.AcceptAll())
+	est, _ := cell.EncodeControl(&cell.EstablishIntroPayload{
+		ServiceID: "abcd0123", // not a valid key, bad signature
+		Signature: []byte("forged"),
+	})
+	rg.sendRelay(t, cell.RelayHeader{Cmd: cell.RelayEstablishIntro}, est)
+	rg.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := cell.Read(rg.conn)
+	if err == nil && got.Cmd != cell.CmdDestroy {
+		t.Fatalf("forged ESTABLISH_INTRO accepted: %v", got.Cmd)
+	}
+}
+
+func TestIntroduce1UnknownService(t *testing.T) {
+	rg := newRig(t, policy.AcceptAll())
+	intro, _ := cell.EncodeControl(&cell.Introduce1Payload{
+		ServiceID: "0000000000000000000000000000000000000000000000000000000000000000",
+		Inner:     []byte("x"),
+	})
+	rg.sendRelay(t, cell.RelayHeader{Cmd: cell.RelayIntroduce1}, intro)
+	hdr, _ := rg.readRelay(t)
+	if hdr.Cmd != cell.RelayEnd {
+		t.Fatalf("got %v, want END for unknown service", hdr.Cmd)
+	}
+}
+
+func TestRendezvous1UnknownCookie(t *testing.T) {
+	rg := newRig(t, policy.AcceptAll())
+	rv, _ := cell.EncodeControl(&cell.Rendezvous1Payload{
+		Cookie: bytes.Repeat([]byte{9}, 20),
+		Reply:  []byte("reply"),
+	})
+	rg.sendRelay(t, cell.RelayHeader{Cmd: cell.RelayRendezvous1}, rv)
+	rg.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := cell.Read(rg.conn)
+	if err == nil && got.Cmd != cell.CmdDestroy {
+		t.Fatalf("unknown-cookie RENDEZVOUS1 tolerated: %v", got.Cmd)
+	}
+}
+
+func TestEstablishRendezvousShortCookie(t *testing.T) {
+	rg := newRig(t, policy.AcceptAll())
+	est, _ := cell.EncodeControl(&cell.EstablishRendezvousPayload{Cookie: []byte{1, 2}})
+	rg.sendRelay(t, cell.RelayHeader{Cmd: cell.RelayEstablishRendezvous}, est)
+	rg.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := cell.Read(rg.conn)
+	if err == nil && got.Cmd != cell.CmdDestroy {
+		t.Fatalf("short cookie accepted: %v", got.Cmd)
+	}
+}
+
+func TestFirstCellMustBeCreate(t *testing.T) {
+	n := simnet.NewNetwork(simnet.NewClock(0.001), time.Millisecond)
+	host := n.AddHost("relay0", 0)
+	r, err := New(host, Config{Nickname: "relay0", Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	client := n.AddHost("client", 0)
+	conn, err := client.Dial("relay0:9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Write(conn, &cell.Cell{CircID: 1, Cmd: cell.CmdRelay})
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := cell.Read(conn); err == nil {
+		t.Fatal("relay answered a non-CREATE first cell")
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	n := simnet.NewNetwork(simnet.NewClock(0.001), time.Millisecond)
+	host := n.AddHost("relay0", 0)
+	mb := policy.DefaultMiddlebox()
+	r, err := New(host, Config{
+		Nickname:   "relay0",
+		Flags:      []string{dirauth.FlagBento},
+		ExitPolicy: policy.AcceptAll(),
+		Middlebox:  mb,
+		BentoAddr:  "relay0:5000",
+		Quiet:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	d, err := r.Descriptor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d.BentoAddr != "relay0:5000" || d.Middlebox == nil {
+		t.Fatalf("Bento fields missing: %+v", d)
+	}
+	if d.Fingerprint() != r.Fingerprint() {
+		t.Fatal("fingerprint mismatch between relay and descriptor")
+	}
+}
+
+func TestHSDirStoreFetch(t *testing.T) {
+	n := simnet.NewNetwork(simnet.NewClock(0.001), time.Millisecond)
+	host := n.AddHost("dir0", 0)
+	r, err := New(host, Config{Nickname: "dir0", Flags: []string{dirauth.FlagHSDir}, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.ServeHSDir(); err != nil {
+		t.Fatal(err)
+	}
+	cli := n.AddHost("cli", 0)
+	desc := []byte(`{"service_id":"abc"}`)
+	if err := StoreHSDescriptor(cli, "dir0:9030", "abc", desc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FetchHSDescriptor(cli, "dir0:9030", "abc")
+	if err != nil || !bytes.Equal(got, desc) {
+		t.Fatalf("fetch: %q %v", got, err)
+	}
+	if _, err := FetchHSDescriptor(cli, "dir0:9030", "missing"); err == nil {
+		t.Fatal("missing descriptor fetched")
+	}
+	if err := StoreHSDescriptor(cli, "dir0:9030", "", nil); err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+func TestSplitTarget(t *testing.T) {
+	cases := []struct {
+		in   string
+		host string
+		port int
+		ok   bool
+	}{
+		{"a:80", "a", 80, true},
+		{"localhost:5000", "localhost", 5000, true},
+		{"bad", "", 0, false},
+		{":80", "", 0, false},
+		{"a:0", "", 0, false},
+		{"a:70000", "", 0, false},
+	}
+	for _, c := range cases {
+		h, p, ok := splitTarget(c.in)
+		if ok != c.ok || (ok && (h != c.host || p != c.port)) {
+			t.Errorf("splitTarget(%q) = %q,%d,%v", c.in, h, p, ok)
+		}
+	}
+}
+
+func BenchmarkSingleHopThroughput(b *testing.B) {
+	n := simnet.NewNetwork(simnet.NewClock(0.001), 0)
+	host := n.AddHost("relay0", 0)
+	r, err := New(host, Config{Nickname: "relay0", ExitPolicy: policy.AcceptAll(), Quiet: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+
+	sink := n.AddHost("sink", 0)
+	ln, _ := sink.Listen(80)
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+
+	client := n.AddHost("client", 0)
+	conn, err := client.Dial("relay0:9001")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, _ := r.Descriptor()
+	hs, msg, _ := otr.NewClientHandshake([]byte(d.Fingerprint()), d.OnionKey)
+	create := &cell.Cell{CircID: 7, Cmd: cell.CmdCreate}
+	copy(create.Payload[:], msg)
+	cell.Write(conn, create)
+	created, _ := cell.Read(conn)
+	keys, _ := hs.Finish(created.Payload[:otr.PublicKeyLen+otr.AuthLen])
+	layer, _ := otr.NewLayer(keys)
+
+	send := func(hdr cell.RelayHeader, data []byte) {
+		c := &cell.Cell{CircID: 7, Cmd: cell.CmdRelay}
+		cell.PackRelay(c.Payload[:], hdr, data)
+		layer.SealForward(c.Payload[:], cell.DigestOffset)
+		layer.ApplyForward(c.Payload[:])
+		cell.Write(conn, c)
+	}
+	begin, _ := cell.EncodeControl(&cell.BeginPayload{Target: "sink:80"})
+	send(cell.RelayHeader{StreamID: 1, Cmd: cell.RelayBegin}, begin)
+	resp, _ := cell.Read(conn)
+	layer.ApplyBackward(resp.Payload[:])
+
+	data := bytes.Repeat([]byte{0xAB}, cell.MaxRelayData)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send(cell.RelayHeader{StreamID: 1, Cmd: cell.RelayData}, data)
+	}
+}

@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic token-bucket rate limiter measured in virtual
+// time. It is shared by all connections on a host, so concurrent senders
+// contend for (and roughly evenly split) the host's uplink, which is what
+// produces the bandwidth-sharing curves of Figure 5.
+type TokenBucket struct {
+	clock *Clock
+
+	mu     sync.Mutex
+	rate   float64       // tokens (bytes) per virtual second; 0 = unlimited
+	burst  float64       // bucket capacity in bytes
+	tokens float64       // current fill
+	last   time.Duration // virtual time of last refill
+}
+
+// NewTokenBucket returns a bucket refilling at rate bytes per virtual
+// second with the given burst capacity. A rate of 0 disables limiting.
+func NewTokenBucket(clock *Clock, rate float64, burst float64) *TokenBucket {
+	if burst <= 0 {
+		burst = 64 * 1024
+	}
+	return &TokenBucket{
+		clock:  clock,
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		last:   clock.Now(),
+	}
+}
+
+// Rate reports the configured fill rate in bytes per virtual second.
+func (tb *TokenBucket) Rate() float64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.rate
+}
+
+// SetRate changes the fill rate. Safe for concurrent use.
+func (tb *TokenBucket) SetRate(rate float64) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refillLocked()
+	tb.rate = rate
+}
+
+// Take blocks until n bytes worth of tokens have been consumed. Large
+// requests are split into burst-sized chunks so that concurrent callers
+// interleave rather than serialize behind one huge acquisition.
+func (tb *TokenBucket) Take(n int) {
+	if n <= 0 {
+		return
+	}
+	remaining := float64(n)
+	for remaining > 0 {
+		tb.mu.Lock()
+		if tb.rate <= 0 {
+			tb.mu.Unlock()
+			return
+		}
+		chunk := math.Min(remaining, tb.burst)
+		tb.refillLocked()
+		var wait time.Duration
+		if tb.tokens >= chunk {
+			tb.tokens -= chunk
+			remaining -= chunk
+		} else {
+			deficit := chunk - tb.tokens
+			wait = time.Duration(deficit / tb.rate * float64(time.Second))
+		}
+		tb.mu.Unlock()
+		if wait > 0 {
+			tb.clock.Sleep(wait)
+		}
+	}
+}
+
+func (tb *TokenBucket) refillLocked() {
+	now := tb.clock.Now()
+	elapsed := now - tb.last
+	tb.last = now
+	if tb.rate <= 0 || elapsed <= 0 {
+		return
+	}
+	tb.tokens += tb.rate * elapsed.Seconds()
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}

@@ -1,0 +1,64 @@
+// Package simnet provides a deterministic in-process network emulator.
+//
+// A Network holds named Hosts. Hosts open Listeners on numbered ports and
+// Dial each other, obtaining net.Conn pairs whose traffic is shaped by
+// per-host egress bandwidth (a shared token bucket, so concurrent
+// connections on one host contend for the same uplink, as on a real
+// machine) and per-link propagation delay.
+//
+// Time in the emulator is virtual: a Clock maps virtual durations onto
+// scaled-down real durations, so an 80-virtual-second experiment can run in
+// under a second of wall time while preserving the relative timing that
+// bandwidth/latency interactions produce.
+package simnet
+
+import (
+	"time"
+)
+
+// Clock converts between virtual time and wall time. A Scale of 0.01 runs
+// the emulation 100x faster than real time. The zero Clock is not usable;
+// construct with NewClock.
+type Clock struct {
+	scale float64
+	epoch time.Time
+}
+
+// NewClock returns a clock running at the given scale (virtual seconds per
+// real second is 1/scale). Scale must be positive.
+func NewClock(scale float64) *Clock {
+	if scale <= 0 {
+		panic("simnet: clock scale must be positive")
+	}
+	return &Clock{scale: scale, epoch: time.Now()}
+}
+
+// Scale reports the configured virtual-to-real scale factor.
+func (c *Clock) Scale() float64 { return c.scale }
+
+// Now returns the current virtual time as an offset from the clock's epoch.
+func (c *Clock) Now() time.Duration {
+	return time.Duration(float64(time.Since(c.epoch)) / c.scale)
+}
+
+// Sleep pauses the caller for the given virtual duration.
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(c.real(d))
+}
+
+// After returns a channel that fires after the given virtual duration.
+func (c *Clock) After(d time.Duration) <-chan time.Time {
+	return time.After(c.real(d))
+}
+
+// real converts a virtual duration into a wall-clock duration.
+func (c *Clock) real(d time.Duration) time.Duration {
+	rd := time.Duration(float64(d) * c.scale)
+	if d > 0 && rd <= 0 {
+		rd = 1 // never round a positive wait down to zero
+	}
+	return rd
+}

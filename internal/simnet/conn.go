@@ -1,0 +1,233 @@
+package simnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+const (
+	// readBufMax bounds the receiver-side buffer; deliveries block when it
+	// is full, providing end-to-end flow control.
+	readBufMax = 1 << 20
+	// outQueueLen bounds the number of in-flight chunks per direction.
+	outQueueLen = 64
+)
+
+type chunk struct {
+	data []byte
+	at   time.Duration // virtual delivery time
+}
+
+// conn is one endpoint of an emulated connection.
+type conn struct {
+	localHost  *Host
+	remoteHost *Host
+	local      addr
+	remote     addr
+	peer       *conn
+
+	out       chan chunk
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      bytes.Buffer
+	eof      bool // peer closed; EOF after buffer drains
+	deadline time.Time
+}
+
+// newConnPair builds both endpoints and starts their transmit goroutines.
+func newConnPair(client, server *Host, cport, sport int) (*conn, *conn) {
+	cl := &conn{
+		localHost:  client,
+		remoteHost: server,
+		local:      addr{client.name, cport},
+		remote:     addr{server.name, sport},
+		out:        make(chan chunk, outQueueLen),
+		closed:     make(chan struct{}),
+	}
+	sv := &conn{
+		localHost:  server,
+		remoteHost: client,
+		local:      addr{server.name, sport},
+		remote:     addr{client.name, cport},
+		out:        make(chan chunk, outQueueLen),
+		closed:     make(chan struct{}),
+	}
+	cl.cond = sync.NewCond(&cl.mu)
+	sv.cond = sync.NewCond(&sv.mu)
+	cl.peer = sv
+	sv.peer = cl
+	go cl.transmit()
+	go sv.transmit()
+	return cl, sv
+}
+
+// transmit moves written chunks to the peer's read buffer, honoring each
+// chunk's virtual delivery time. Chunks are stamped at Write time, so
+// pipelined writes overlap their propagation delays instead of
+// serializing. On close it drains chunks already accepted for
+// transmission (in-flight data arrives before the peer sees EOF), then
+// signals EOF.
+func (c *conn) transmit() {
+	clock := c.localHost.Clock()
+	deliver := func(ch chunk) {
+		if d := ch.at - clock.Now(); d > 0 {
+			clock.Sleep(d)
+		}
+		c.peer.deliver(ch.data)
+	}
+	for {
+		select {
+		case ch := <-c.out:
+			deliver(ch)
+		case <-c.closed:
+			for {
+				select {
+				case ch := <-c.out:
+					deliver(ch)
+				default:
+					c.peer.deliverEOF()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *conn) deliver(data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.buf.Len() > readBufMax && !c.eof && !c.isClosed() {
+		c.cond.Wait()
+	}
+	if c.isClosed() {
+		return
+	}
+	c.buf.Write(data)
+	c.cond.Broadcast()
+}
+
+func (c *conn) deliverEOF() {
+	c.mu.Lock()
+	c.eof = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *conn) isClosed() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Read implements net.Conn.
+func (c *conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if !c.deadline.IsZero() && !time.Now().Before(c.deadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if c.buf.Len() > 0 {
+			n, _ := c.buf.Read(p)
+			c.cond.Broadcast() // wake deliverers waiting on buffer space
+			return n, nil
+		}
+		if c.isClosed() {
+			return 0, net.ErrClosed
+		}
+		if c.eof {
+			return 0, io.EOF
+		}
+		c.cond.Wait()
+	}
+}
+
+// Write implements net.Conn. It blocks acquiring egress tokens
+// (transmission delay), stamps the chunk's virtual delivery time, and hands
+// it to the transmit goroutine.
+func (c *conn) Write(p []byte) (int, error) {
+	if c.isClosed() {
+		return 0, net.ErrClosed
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > 32*1024 {
+			n = 32 * 1024
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+		if c.localHost != c.remoteHost {
+			// Loopback traffic bypasses the NIC: only inter-host bytes
+			// consume the uplink.
+			c.localHost.egress.Take(n)
+		}
+		at := c.localHost.Clock().Now() +
+			c.localHost.net.Delay(c.localHost.name, c.remoteHost.name)
+		select {
+		case c.out <- chunk{data: data, at: at}:
+		case <-c.closed:
+			return total, net.ErrClosed
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Close implements net.Conn. The peer sees EOF after draining in-flight
+// data; local reads fail immediately. The out channel is never closed —
+// the transmit goroutine observes c.closed instead, so a Write racing
+// with Close fails cleanly rather than panicking.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes are paced by the
+// emulator and complete promptly at emulation scale).
+func (c *conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		time.AfterFunc(d, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op; see SetDeadline.
+func (c *conn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,234 @@
+package simnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network is a registry of emulated hosts plus the link parameters between
+// them. All hosts share one virtual Clock.
+type Network struct {
+	clock *Clock
+
+	mu           sync.RWMutex
+	hosts        map[string]*Host
+	defaultDelay time.Duration
+	delays       map[[2]string]time.Duration
+}
+
+// NewNetwork creates an empty network. defaultDelay is the one-way
+// propagation delay applied between any pair of hosts without an explicit
+// override.
+func NewNetwork(clock *Clock, defaultDelay time.Duration) *Network {
+	return &Network{
+		clock:        clock,
+		hosts:        make(map[string]*Host),
+		defaultDelay: defaultDelay,
+		delays:       make(map[[2]string]time.Duration),
+	}
+}
+
+// Clock returns the network's virtual clock.
+func (n *Network) Clock() *Clock { return n.clock }
+
+// AddHost registers a host. egressRate is the host's uplink bandwidth in
+// bytes per virtual second (0 = unlimited). Adding a duplicate name panics:
+// topology is fixed by the experiment harness, so this is programmer error.
+func (n *Network) AddHost(name string, egressRate float64) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[name]; ok {
+		panic(fmt.Sprintf("simnet: duplicate host %q", name))
+	}
+	h := &Host{
+		net:       n,
+		name:      name,
+		egress:    NewTokenBucket(n.clock, egressRate, 64*1024),
+		listeners: make(map[int]*listener),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns the named host, or nil if it does not exist.
+func (n *Network) Host(name string) *Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.hosts[name]
+}
+
+// Hosts returns the names of all registered hosts.
+func (n *Network) Hosts() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	names := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		names = append(names, name)
+	}
+	return names
+}
+
+// SetDelay overrides the symmetric one-way propagation delay between two
+// hosts.
+func (n *Network) SetDelay(a, b string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delays[delayKey(a, b)] = d
+}
+
+// Delay reports the one-way propagation delay between two hosts.
+func (n *Network) Delay(a, b string) time.Duration {
+	if a == b {
+		return 0 // loopback
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if d, ok := n.delays[delayKey(a, b)]; ok {
+		return d
+	}
+	return n.defaultDelay
+}
+
+func delayKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Host is an emulated machine: a name, a shared egress token bucket, and a
+// set of listening ports.
+type Host struct {
+	net    *Network
+	name   string
+	egress *TokenBucket
+
+	mu        sync.Mutex
+	listeners map[int]*listener
+	nextPort  int
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// Clock returns the network clock.
+func (h *Host) Clock() *Clock { return h.net.clock }
+
+// SetEgressRate changes the host's uplink bandwidth (bytes per virtual
+// second; 0 = unlimited).
+func (h *Host) SetEgressRate(rate float64) { h.egress.SetRate(rate) }
+
+// Listen opens a listener on the given port.
+func (h *Host) Listen(port int) (net.Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.listeners[port]; ok {
+		return nil, fmt.Errorf("simnet: %s:%d already in use", h.name, port)
+	}
+	l := &listener{
+		host:   h,
+		port:   port,
+		accept: make(chan *conn, 16),
+		done:   make(chan struct{}),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Dial connects to "host:port", applying connection-setup propagation
+// delay. The returned net.Conn's traffic is shaped by both endpoints'
+// egress buckets and the link delay.
+func (h *Host) Dial(target string) (net.Conn, error) {
+	thost, tport, err := splitHostPort(target)
+	if err != nil {
+		return nil, err
+	}
+	remote := h.net.Host(thost)
+	if remote == nil {
+		return nil, fmt.Errorf("simnet: no route to host %q", thost)
+	}
+	remote.mu.Lock()
+	l, ok := remote.listeners[tport]
+	remote.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simnet: connection refused: %s", target)
+	}
+
+	h.mu.Lock()
+	h.nextPort++
+	lport := 40000 + h.nextPort
+	h.mu.Unlock()
+
+	cl, sv := newConnPair(h, remote, lport, tport)
+	// One round trip of handshake latency before the connection exists.
+	h.net.clock.Sleep(2 * h.net.Delay(h.name, thost))
+	select {
+	case l.accept <- sv:
+		return cl, nil
+	case <-l.done:
+		cl.Close()
+		sv.Close()
+		return nil, fmt.Errorf("simnet: connection refused: %s", target)
+	}
+}
+
+type listener struct {
+	host *Host
+	port int
+
+	accept chan *conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Accept waits for and returns the next connection.
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener. Pending Accept calls are unblocked.
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		l.host.mu.Lock()
+		delete(l.host.listeners, l.port)
+		l.host.mu.Unlock()
+		close(l.done)
+	})
+	return nil
+}
+
+// Addr returns the listener's address.
+func (l *listener) Addr() net.Addr {
+	return addr{host: l.host.name, port: l.port}
+}
+
+type addr struct {
+	host string
+	port int
+}
+
+func (a addr) Network() string { return "sim" }
+func (a addr) String() string  { return fmt.Sprintf("%s:%d", a.host, a.port) }
+
+func splitHostPort(s string) (string, int, error) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			var port int
+			if _, err := fmt.Sscanf(s[i+1:], "%d", &port); err != nil {
+				return "", 0, fmt.Errorf("simnet: bad port in %q", s)
+			}
+			return s[:i], port, nil
+		}
+	}
+	return "", 0, fmt.Errorf("simnet: missing port in address %q", s)
+}

@@ -1,0 +1,219 @@
+// Package testbed assembles complete Bento deployments for tests,
+// examples, and the experiment harness: an emulated network, a directory
+// authority, relays (some running Bento servers with the standard function
+// API), an attestation service, and an optional web farm.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/bento"
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/enclave"
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/policy"
+	"github.com/bento-nfv/bento/internal/relay"
+	"github.com/bento-nfv/bento/internal/simnet"
+	"github.com/bento-nfv/bento/internal/torclient"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Relays is the total relay count (default 6).
+	Relays int
+	// BentoNodes is how many relays also run Bento servers (default 2).
+	BentoNodes int
+	// Sites are served from dedicated web hosts named by their domains.
+	Sites []*webfarm.Site
+	// ClockScale maps virtual to real time (default 0.0005 = 2000x).
+	ClockScale float64
+	// LinkDelay is the default one-way propagation delay (default 2ms).
+	LinkDelay time.Duration
+	// RelayEgress caps each relay's uplink in bytes per virtual second
+	// (0 = unlimited).
+	RelayEgress float64
+	// BentoEgress, when nonzero, overrides RelayEgress for Bento-hosting
+	// relays (the serving bottleneck in the Figure 5 experiment).
+	BentoEgress float64
+	// WebEgress caps each web host's uplink (0 = unlimited).
+	WebEgress float64
+	// Quiet silences relay logging (default true via NewQuiet callers).
+	Verbose bool
+}
+
+// World is a running deployment.
+type World struct {
+	Net       *simnet.Network
+	Auth      *dirauth.Authority
+	Consensus *dirauth.Consensus
+	IAS       *enclave.AttestationService
+	Relays    []*relay.Relay
+	Servers   []*bento.Server
+	Web       []*webfarm.Server
+
+	clientSeq int
+}
+
+// New builds and starts a deployment.
+func New(cfg Config) (*World, error) {
+	if cfg.Relays <= 0 {
+		cfg.Relays = 6
+	}
+	if cfg.BentoNodes < 0 || cfg.BentoNodes > cfg.Relays {
+		return nil, fmt.Errorf("testbed: BentoNodes %d out of range", cfg.BentoNodes)
+	}
+	if cfg.ClockScale <= 0 {
+		cfg.ClockScale = 0.0005
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = 2 * time.Millisecond
+	}
+
+	n := simnet.NewNetwork(simnet.NewClock(cfg.ClockScale), cfg.LinkDelay)
+	auth, err := dirauth.NewAuthority()
+	if err != nil {
+		return nil, err
+	}
+	ias, err := enclave.NewAttestationService()
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Net: n, Auth: auth, IAS: ias}
+
+	exitPol, err := policy.ParseExitPolicy(
+		fmt.Sprintf("accept localhost:%d", bento.Port),
+		"accept *:*",
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	type bentoHost struct{ host *simnet.Host }
+	var bentoHosts []bentoHost
+	for i := 0; i < cfg.Relays; i++ {
+		name := fmt.Sprintf("relay%d", i)
+		egress := cfg.RelayEgress
+		if i < cfg.BentoNodes && cfg.BentoEgress != 0 {
+			egress = cfg.BentoEgress
+		}
+		host := n.AddHost(name, egress)
+		flags := []string{dirauth.FlagGuard, dirauth.FlagExit, dirauth.FlagHSDir}
+		if egress == 0 || (cfg.BentoEgress != 0 && egress > cfg.BentoEgress) {
+			flags = append(flags, dirauth.FlagFast)
+		}
+		rcfg := relay.Config{
+			Nickname:   name,
+			Flags:      flags,
+			ExitPolicy: exitPol,
+			Quiet:      !cfg.Verbose,
+		}
+		if i < cfg.BentoNodes {
+			rcfg.Flags = append(rcfg.Flags, dirauth.FlagBento)
+			rcfg.Middlebox = policy.DefaultMiddlebox()
+			rcfg.BentoAddr = fmt.Sprintf("%s:%d", name, bento.Port)
+		}
+		r, err := relay.New(host, rcfg)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := r.ServeHSDir(); err != nil {
+			w.Close()
+			return nil, err
+		}
+		d, err := r.Descriptor()
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := auth.Publish(d); err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.Relays = append(w.Relays, r)
+		if i < cfg.BentoNodes {
+			bentoHosts = append(bentoHosts, bentoHost{host: host})
+		}
+	}
+
+	cons, err := auth.Consensus()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	w.Consensus = cons
+
+	for i, bh := range bentoHosts {
+		platform, err := enclave.NewPlatform(enclave.MinTCBVersion)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		ias.RegisterPlatform(platform.QuotingKey())
+		srv, err := bento.NewServer(bento.ServerConfig{
+			Host:       bh.host,
+			Tor:        torclient.New(bh.host, cons, int64(9000+i)),
+			Policy:     policy.DefaultMiddlebox(),
+			ExitPolicy: exitPol,
+			Platform:   platform,
+			IAS:        ias,
+			Bind:       functions.StandardBinder(),
+		})
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.Servers = append(w.Servers, srv)
+	}
+
+	for _, site := range cfg.Sites {
+		host := n.AddHost(site.Domain, cfg.WebEgress)
+		ws, err := webfarm.Serve(host, site)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.Web = append(w.Web, ws)
+	}
+	return w, nil
+}
+
+// Close tears the deployment down.
+func (w *World) Close() {
+	for _, s := range w.Servers {
+		s.Close()
+	}
+	for _, ws := range w.Web {
+		ws.Close()
+	}
+	for _, r := range w.Relays {
+		r.Close()
+	}
+}
+
+// Clock returns the deployment's virtual clock.
+func (w *World) Clock() *simnet.Clock { return w.Net.Clock() }
+
+// NewTorClient adds a fresh client host and onion proxy.
+func (w *World) NewTorClient(name string, seed int64) *torclient.Client {
+	w.clientSeq++
+	host := w.Net.AddHost(name, 0)
+	return torclient.New(host, w.Consensus, seed)
+}
+
+// NewBentoClient adds a fresh client host with a Bento client pinned to
+// the deployment's IAS.
+func (w *World) NewBentoClient(name string, seed int64) *bento.Client {
+	return bento.NewClient(w.NewTorClient(name, seed), w.IAS.PublicKey())
+}
+
+// BentoNode returns the i-th Bento-capable relay descriptor.
+func (w *World) BentoNode(i int) *dirauth.Descriptor {
+	nodes := w.Consensus.BentoNodes()
+	if i < 0 || i >= len(nodes) {
+		return nil
+	}
+	return nodes[i]
+}

@@ -1,0 +1,80 @@
+package testbed
+
+import (
+	"testing"
+
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/webfarm"
+)
+
+func TestNewDefaults(t *testing.T) {
+	w, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(w.Relays) != 6 {
+		t.Fatalf("got %d relays, want default 6", len(w.Relays))
+	}
+	if len(w.Consensus.Relays) != 6 {
+		t.Fatalf("consensus has %d relays", len(w.Consensus.Relays))
+	}
+}
+
+func TestBentoNodesAdvertised(t *testing.T) {
+	w, err := New(Config{Relays: 5, BentoNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	nodes := w.Consensus.BentoNodes()
+	if len(nodes) != 2 {
+		t.Fatalf("got %d Bento nodes, want 2", len(nodes))
+	}
+	if w.BentoNode(0) == nil || w.BentoNode(2) != nil || w.BentoNode(-1) != nil {
+		t.Fatal("BentoNode indexing broken")
+	}
+	if len(w.Servers) != 2 {
+		t.Fatalf("got %d servers", len(w.Servers))
+	}
+}
+
+func TestFastFlagAssignment(t *testing.T) {
+	w, err := New(Config{Relays: 4, BentoNodes: 2, BentoEgress: 100 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i, d := range w.Consensus.WithFlag(dirauth.FlagBento) {
+		if d.HasFlag(dirauth.FlagFast) {
+			t.Errorf("capped Bento node %d carries Fast flag", i)
+		}
+	}
+	fast := w.Consensus.WithFlag(dirauth.FlagFast)
+	if len(fast) != 2 {
+		t.Fatalf("got %d Fast relays, want the 2 uncapped ones", len(fast))
+	}
+}
+
+func TestSitesServed(t *testing.T) {
+	site := webfarm.NamedSite("hello.web", 2000, nil)
+	w, err := New(Config{Relays: 3, Sites: []*webfarm.Site{site}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	cli := w.NewTorClient("probe", 1)
+	body, err := webfarm.Get(cli.Host().Dial, "hello.web", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 2000 {
+		t.Fatalf("served %d bytes", len(body))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Relays: 2, BentoNodes: 5}); err == nil {
+		t.Fatal("BentoNodes > Relays accepted")
+	}
+}

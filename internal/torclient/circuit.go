@@ -1,0 +1,387 @@
+package torclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/cell"
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/otr"
+)
+
+// ctrlTimeout bounds how long (wall-clock) we wait for a circuit-level
+// control response. It is deliberately generous: virtual time runs much
+// faster than wall time, so this only fires on genuine protocol failures.
+const ctrlTimeout = 30 * time.Second
+
+// ErrCircuitClosed is returned by operations on a closed circuit.
+var ErrCircuitClosed = errors.New("torclient: circuit closed")
+
+// ctrlMsg is a control relay cell routed to a waiting operation.
+type ctrlMsg struct {
+	hop  int
+	hdr  cell.RelayHeader
+	data []byte
+}
+
+// serviceState is the hidden-service side of a rendezvous circuit: one
+// extra crypto layer shared end-to-end with the connecting client, plus an
+// acceptor invoked for each BEGIN arriving at that layer.
+type serviceState struct {
+	layer    *otr.Layer
+	acceptor func(net.Conn)
+	streams  map[uint16]*Stream
+}
+
+// Circuit is a client-built onion circuit.
+type Circuit struct {
+	client *Client
+	conn   net.Conn
+	circID uint32
+	path   []*dirauth.Descriptor
+
+	// mu guards layer crypto state, conn writes, and stream bookkeeping.
+	// Crypto must advance in exactly wire order, so encryption and the
+	// write it precedes happen under one critical section.
+	mu         sync.Mutex
+	layers     []*otr.Layer
+	streams    map[uint16]*Stream
+	nextStream uint16
+	svc        *serviceState
+	onIntro2   func(data []byte)
+
+	ctrl      chan ctrlMsg
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// BuildCircuit constructs a circuit along the given path, performing the
+// CREATE handshake with the first relay and telescoping EXTENDs to the
+// rest.
+func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
+	if len(path) == 0 {
+		return nil, errors.New("torclient: empty path")
+	}
+	conn, err := c.host.Dial(path[0].Address)
+	if err != nil {
+		return nil, fmt.Errorf("torclient: dialing guard %s: %w", path[0].Nickname, err)
+	}
+	c.mu.Lock()
+	circID := uint32(c.rng.Int63())<<1 | 1
+	tap := c.tap
+	c.mu.Unlock()
+
+	if tap != nil {
+		conn = &tappedConn{Conn: conn, tap: tap, clock: c.host.Clock()}
+	}
+
+	// CREATE/CREATED with the guard, synchronously (dispatcher not yet
+	// running).
+	hs, msg, err := otr.NewClientHandshake([]byte(path[0].Fingerprint()), path[0].OnionKey)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	create := &cell.Cell{CircID: circID, Cmd: cell.CmdCreate}
+	copy(create.Payload[:], msg)
+	if err := cell.Write(conn, create); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	created, err := cell.Read(conn)
+	if err != nil || created.Cmd != cell.CmdCreated {
+		conn.Close()
+		return nil, fmt.Errorf("torclient: CREATE to %s failed", path[0].Nickname)
+	}
+	keys, err := hs.Finish(created.Payload[:otr.PublicKeyLen+otr.AuthLen])
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("torclient: guard handshake: %w", err)
+	}
+	layer, err := otr.NewLayer(keys)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	circ := &Circuit{
+		client:  c,
+		conn:    conn,
+		circID:  circID,
+		path:    path[:1],
+		layers:  []*otr.Layer{layer},
+		streams: make(map[uint16]*Stream),
+		ctrl:    make(chan ctrlMsg, 64),
+		closed:  make(chan struct{}),
+	}
+	go circ.dispatch()
+
+	for _, hop := range path[1:] {
+		if err := circ.Extend(hop); err != nil {
+			circ.Close()
+			return nil, err
+		}
+	}
+	return circ, nil
+}
+
+// Path returns the descriptors of the circuit's hops.
+func (circ *Circuit) Path() []*dirauth.Descriptor { return circ.path }
+
+// Done returns a channel closed when the circuit is torn down.
+func (circ *Circuit) Done() <-chan struct{} { return circ.closed }
+
+// Len returns the number of onion layers (including a rendezvous layer, if
+// attached).
+func (circ *Circuit) Len() int {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	return len(circ.layers)
+}
+
+// Extend telescopes the circuit by one hop.
+func (circ *Circuit) Extend(hop *dirauth.Descriptor) error {
+	hs, msg, err := otr.NewClientHandshake([]byte(hop.Fingerprint()), hop.OnionKey)
+	if err != nil {
+		return err
+	}
+	data, err := cell.EncodeControl(&cell.ExtendPayload{
+		Addr:        hop.Address,
+		Fingerprint: hop.Fingerprint(),
+		Handshake:   msg,
+	})
+	if err != nil {
+		return err
+	}
+	if err := circ.send(cell.RelayHeader{Cmd: cell.RelayExtend}, data); err != nil {
+		return err
+	}
+	msgIn, err := circ.awaitCtrl(cell.RelayExtended)
+	if err != nil {
+		return fmt.Errorf("torclient: extending to %s: %w", hop.Nickname, err)
+	}
+	var ext cell.ExtendedPayload
+	if err := cell.DecodeControl(msgIn.data, &ext); err != nil {
+		return err
+	}
+	keys, err := hs.Finish(ext.Reply)
+	if err != nil {
+		return fmt.Errorf("torclient: handshake with %s: %w", hop.Nickname, err)
+	}
+	layer, err := otr.NewLayer(keys)
+	if err != nil {
+		return err
+	}
+	circ.mu.Lock()
+	circ.layers = append(circ.layers, layer)
+	circ.mu.Unlock()
+	circ.path = append(circ.path, hop)
+	return nil
+}
+
+// send packs and onion-encrypts a relay cell addressed to the last hop.
+func (circ *Circuit) send(hdr cell.RelayHeader, data []byte) error {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	return circ.sendLocked(hdr, data)
+}
+
+func (circ *Circuit) sendLocked(hdr cell.RelayHeader, data []byte) error {
+	if circ.isClosed() {
+		return ErrCircuitClosed
+	}
+	c := &cell.Cell{CircID: circ.circID, Cmd: cell.CmdRelay}
+	if err := cell.PackRelay(c.Payload[:], hdr, data); err != nil {
+		return err
+	}
+	target := len(circ.layers) - 1
+	otr.OnionEncrypt(circ.layers, target, c.Payload[:], cell.DigestOffset)
+	return cell.Write(circ.conn, c)
+}
+
+// SendDrop sends a long-range padding cell addressed to the last hop,
+// carrying len junk bytes (capped at the cell data size). Used for
+// client-originated cover traffic.
+func (circ *Circuit) SendDrop(junk []byte) error {
+	if len(junk) > cell.MaxRelayData {
+		junk = junk[:cell.MaxRelayData]
+	}
+	return circ.send(cell.RelayHeader{Cmd: cell.RelayDrop}, junk)
+}
+
+func (circ *Circuit) isClosed() bool {
+	select {
+	case <-circ.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close destroys the circuit.
+func (circ *Circuit) Close() error {
+	circ.closeOnce.Do(func() {
+		close(circ.closed)
+		cell.Write(circ.conn, &cell.Cell{CircID: circ.circID, Cmd: cell.CmdDestroy})
+		circ.conn.Close()
+		circ.mu.Lock()
+		streams := circ.streams
+		circ.streams = map[uint16]*Stream{}
+		var svcStreams map[uint16]*Stream
+		if circ.svc != nil {
+			svcStreams = circ.svc.streams
+			circ.svc.streams = map[uint16]*Stream{}
+		}
+		circ.mu.Unlock()
+		for _, s := range streams {
+			s.closeWithError(ErrCircuitClosed)
+		}
+		for _, s := range svcStreams {
+			s.closeWithError(ErrCircuitClosed)
+		}
+	})
+	return nil
+}
+
+// dispatch reads cells from the guard link and routes them.
+func (circ *Circuit) dispatch() {
+	defer circ.Close()
+	for {
+		c, err := cell.Read(circ.conn)
+		if err != nil {
+			return
+		}
+		switch c.Cmd {
+		case cell.CmdDestroy:
+			return
+		case cell.CmdRelay:
+			circ.handleRelay(c)
+		}
+	}
+}
+
+func (circ *Circuit) handleRelay(c *cell.Cell) {
+	circ.mu.Lock()
+	hop := otr.OnionDecrypt(circ.layers, c.Payload[:], cell.RecognizedOffset, cell.DigestOffset)
+	if hop < 0 && circ.svc != nil {
+		// Possibly a cell at the service layer from a rendezvous client.
+		circ.svc.layer.ApplyForward(c.Payload[:])
+		if cell.Recognized(c.Payload[:]) && circ.svc.layer.VerifyForward(c.Payload[:], cell.DigestOffset) {
+			hdr, data, err := cell.ParseRelay(c.Payload[:])
+			circ.mu.Unlock()
+			if err == nil {
+				circ.handleServiceCell(hdr, data)
+			}
+			return
+		}
+	}
+	if hop < 0 {
+		circ.mu.Unlock()
+		return // garbled or stray cell; drop
+	}
+	hdr, data, err := cell.ParseRelay(c.Payload[:])
+	if err != nil {
+		circ.mu.Unlock()
+		return
+	}
+	switch hdr.Cmd {
+	case cell.RelayData:
+		s := circ.streams[hdr.StreamID]
+		circ.mu.Unlock()
+		if s != nil {
+			s.deliver(data)
+		}
+	case cell.RelayEnd:
+		s := circ.streams[hdr.StreamID]
+		delete(circ.streams, hdr.StreamID)
+		circ.mu.Unlock()
+		if s != nil {
+			if hdr.StreamID != 0 {
+				s.deliverEOF()
+			}
+		} else if hdr.StreamID == 0 {
+			// Control-level END (e.g. introduce failure): surface it.
+			select {
+			case circ.ctrl <- ctrlMsg{hop: hop, hdr: hdr, data: copyBytes(data)}:
+			default:
+			}
+		}
+	case cell.RelayConnected:
+		s := circ.streams[hdr.StreamID]
+		circ.mu.Unlock()
+		if s != nil {
+			s.connected()
+		}
+	case cell.RelayIntroduce2:
+		cb := circ.onIntro2
+		circ.mu.Unlock()
+		if cb != nil {
+			go cb(copyBytes(data))
+		}
+	case cell.RelayDrop:
+		circ.mu.Unlock()
+		// Inbound cover traffic: absorbed.
+	default:
+		circ.mu.Unlock()
+		select {
+		case circ.ctrl <- ctrlMsg{hop: hop, hdr: hdr, data: copyBytes(data)}:
+		default:
+			// Control queue overflow: drop (callers will time out).
+		}
+	}
+}
+
+// awaitCtrl waits for a control message with the given relay command.
+func (circ *Circuit) awaitCtrl(cmd cell.RelayCommand) (ctrlMsg, error) {
+	deadline := time.After(ctrlTimeout)
+	for {
+		select {
+		case m := <-circ.ctrl:
+			if m.hdr.Cmd == cmd {
+				return m, nil
+			}
+			if m.hdr.Cmd == cell.RelayEnd {
+				var end cell.EndPayload
+				cell.DecodeControl(m.data, &end)
+				return ctrlMsg{}, fmt.Errorf("torclient: circuit-level END: %s", end.Reason)
+			}
+			// Unrelated control message: keep waiting.
+		case <-circ.closed:
+			return ctrlMsg{}, ErrCircuitClosed
+		case <-deadline:
+			return ctrlMsg{}, fmt.Errorf("torclient: timeout waiting for %v", cmd)
+		}
+	}
+}
+
+func copyBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// tappedConn wraps the guard link to observe cell-sized reads and writes.
+type tappedConn struct {
+	net.Conn
+	tap   TrafficTap
+	clock interface{ Now() time.Duration }
+}
+
+func (t *tappedConn) Write(p []byte) (int, error) {
+	n, err := t.Conn.Write(p)
+	if n > 0 {
+		t.tap(+1, n, t.clock.Now())
+	}
+	return n, err
+}
+
+func (t *tappedConn) Read(p []byte) (int, error) {
+	n, err := t.Conn.Read(p)
+	if n > 0 {
+		t.tap(-1, n, t.clock.Now())
+	}
+	return n, err
+}

@@ -1,0 +1,95 @@
+// Package torclient implements the client side (onion proxy) of the
+// emulated Tor overlay: circuit construction by telescoping ntor
+// handshakes, anonymous streams, hidden-service rendezvous operations, and
+// a traffic tap at the client–guard link used by the website-fingerprinting
+// experiments.
+package torclient
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/simnet"
+)
+
+// Client is a Tor client bound to an emulated host.
+type Client struct {
+	host      *simnet.Host
+	consensus *dirauth.Consensus
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	tap TrafficTap
+}
+
+// TrafficTap observes cells crossing the client–guard link. dir is +1 for
+// outbound (client→guard) and -1 for inbound. at is the virtual time of
+// the observation. Taps model an adversary sniffing the client's access
+// link, as in §7's fingerprinting setup.
+type TrafficTap func(dir int, size int, at time.Duration)
+
+// New creates a client. seed makes path selection reproducible.
+func New(host *simnet.Host, consensus *dirauth.Consensus, seed int64) *Client {
+	return &Client{
+		host:      host,
+		consensus: consensus,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Host returns the client's emulated host.
+func (c *Client) Host() *simnet.Host { return c.host }
+
+// Consensus returns the directory consensus the client is using.
+func (c *Client) Consensus() *dirauth.Consensus { return c.consensus }
+
+// SetConsensus replaces the client's consensus (e.g. after a refresh).
+func (c *Client) SetConsensus(cons *dirauth.Consensus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.consensus = cons
+}
+
+// SetTrafficTap installs an observer on all subsequently built circuits.
+func (c *Client) SetTrafficTap(tap TrafficTap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tap = tap
+}
+
+// PickPath chooses a 3-hop path toward dest ("host:port" semantics) using
+// the client's seeded RNG.
+func (c *Client) PickPath(destHost string, destPort int) ([]*dirauth.Descriptor, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.consensus.PickPath(c.rng, destHost, destPort)
+}
+
+// PickRelay chooses one relay carrying the given flag.
+func (c *Client) PickRelay(flag string) *dirauth.Descriptor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pool := c.consensus.WithFlag(flag)
+	if len(pool) == 0 {
+		return nil
+	}
+	return pool[c.rng.Intn(len(pool))]
+}
+
+// Intn draws from the client's seeded RNG under the client lock (path
+// selection can run from concurrent goroutines, e.g. hidden-service
+// rendezvous responses).
+func (c *Client) Intn(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// Int63 draws a random int63 under the client lock.
+func (c *Client) Int63() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Int63()
+}

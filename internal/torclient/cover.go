@@ -1,0 +1,76 @@
+package torclient
+
+import (
+	"crypto/rand"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/cell"
+)
+
+// CoverPlugin is the client-side half of the Cover function (Figure 3
+// shows it inside the user's onion proxy): it keeps a circuit's outbound
+// direction transmitting at a fixed rate by sending DROP cells whenever
+// the application has nothing to send, complementing the server-side
+// cover stream.
+type CoverPlugin struct {
+	circ     *Circuit
+	interval time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	done    chan struct{}
+	sent    int
+}
+
+// StartCover begins fixed-rate outbound padding on the circuit: one
+// full-size DROP cell every interval (virtual time) until Stop or circuit
+// teardown.
+func (circ *Circuit) StartCover(interval time.Duration) *CoverPlugin {
+	p := &CoverPlugin{
+		circ:     circ,
+		interval: interval,
+		done:     make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *CoverPlugin) run() {
+	clock := p.circ.client.host.Clock()
+	junk := make([]byte, cell.MaxRelayData)
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-p.circ.closed:
+			return
+		default:
+		}
+		rand.Read(junk[:32]) // cheap freshness; the cell is discarded anyway
+		if err := p.circ.SendDrop(junk); err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.sent++
+		p.mu.Unlock()
+		clock.Sleep(p.interval)
+	}
+}
+
+// Sent reports how many padding cells have been emitted.
+func (p *CoverPlugin) Sent() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// Stop halts the padding stream.
+func (p *CoverPlugin) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.stopped {
+		p.stopped = true
+		close(p.done)
+	}
+}

@@ -1,0 +1,225 @@
+package torclient
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/cell"
+)
+
+// Stream is an anonymous byte stream carried over a circuit. It implements
+// net.Conn. A stream belongs either to a client circuit (data addressed to
+// the last hop) or to a hidden service's session (data addressed at the
+// service layer).
+type Stream struct {
+	circ    *Circuit
+	id      uint16
+	service bool // true when this is the HS side of a rendezvous session
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      bytes.Buffer
+	eof      bool
+	err      error
+	deadline time.Time
+	ready    chan struct{} // closed on CONNECTED
+	readyErr error
+	once     sync.Once
+}
+
+func newStream(circ *Circuit, id uint16, service bool) *Stream {
+	s := &Stream{circ: circ, id: id, service: service, ready: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// OpenStream opens a stream through the circuit to target ("host:port").
+// On a plain circuit the last hop acts as the exit; on a rendezvous
+// circuit (after AttachRendezvousLayer) the hidden service receives the
+// BEGIN.
+func (circ *Circuit) OpenStream(target string) (net.Conn, error) {
+	circ.mu.Lock()
+	circ.nextStream++
+	id := circ.nextStream
+	s := newStream(circ, id, false)
+	circ.streams[id] = s
+	circ.mu.Unlock()
+
+	data, err := cell.EncodeControl(&cell.BeginPayload{Target: target})
+	if err != nil {
+		return nil, err
+	}
+	if err := circ.send(cell.RelayHeader{StreamID: id, Cmd: cell.RelayBegin}, data); err != nil {
+		circ.dropStream(id)
+		return nil, err
+	}
+	select {
+	case <-s.ready:
+		if s.readyErr != nil {
+			circ.dropStream(id)
+			return nil, s.readyErr
+		}
+		return s, nil
+	case <-circ.closed:
+		return nil, ErrCircuitClosed
+	case <-time.After(ctrlTimeout):
+		circ.dropStream(id)
+		return nil, fmt.Errorf("torclient: timeout opening stream to %s", target)
+	}
+}
+
+func (circ *Circuit) dropStream(id uint16) {
+	circ.mu.Lock()
+	delete(circ.streams, id)
+	circ.mu.Unlock()
+}
+
+func (s *Stream) connected() {
+	s.once.Do(func() { close(s.ready) })
+}
+
+func (s *Stream) deliver(data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf.Write(data)
+	s.cond.Broadcast()
+}
+
+func (s *Stream) deliverEOF() {
+	s.once.Do(func() {
+		s.readyErr = errors.New("torclient: stream refused")
+		close(s.ready)
+	})
+	s.mu.Lock()
+	s.eof = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Stream) closeWithError(err error) {
+	s.once.Do(func() {
+		s.readyErr = err
+		close(s.ready)
+	})
+	s.mu.Lock()
+	s.err = err
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Read implements net.Conn. A read deadline produces a timeout error for
+// the blocked read only; later reads proceed once the deadline is cleared
+// or extended, matching net.Conn semantics.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.buf.Len() > 0 {
+			return s.buf.Read(p)
+		}
+		if s.err != nil {
+			return 0, s.err
+		}
+		if s.eof {
+			return 0, io.EOF
+		}
+		if !s.deadline.IsZero() && !time.Now().Before(s.deadline) {
+			return 0, errStreamTimeout
+		}
+		s.cond.Wait()
+	}
+}
+
+// Write implements net.Conn, chunking into DATA cells.
+func (s *Stream) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > cell.MaxRelayData {
+			n = cell.MaxRelayData
+		}
+		hdr := cell.RelayHeader{StreamID: s.id, Cmd: cell.RelayData}
+		var err error
+		if s.service {
+			err = s.circ.sendServiceCell(hdr, p[:n])
+		} else {
+			err = s.circ.send(hdr, p[:n])
+		}
+		if err != nil {
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Close implements net.Conn, sending END upstream.
+func (s *Stream) Close() error {
+	data, _ := cell.EncodeControl(&cell.EndPayload{Reason: "closed"})
+	hdr := cell.RelayHeader{StreamID: s.id, Cmd: cell.RelayEnd}
+	if s.service {
+		s.circ.sendServiceCell(hdr, data)
+		s.circ.dropServiceStream(s.id)
+	} else {
+		s.circ.send(hdr, data)
+		s.circ.dropStream(s.id)
+	}
+	s.mu.Lock()
+	s.eof = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (s *Stream) LocalAddr() net.Addr {
+	return streamAddr{fmt.Sprintf("circ-%d:%d", s.circ.circID, s.id)}
+}
+
+// RemoteAddr implements net.Conn.
+func (s *Stream) RemoteAddr() net.Addr { return streamAddr{"tor-stream"} }
+
+// SetDeadline implements net.Conn (reads only; writes are paced upstream).
+func (s *Stream) SetDeadline(t time.Time) error { return s.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (s *Stream) SetReadDeadline(t time.Time) error {
+	s.mu.Lock()
+	s.deadline = t
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		time.AfterFunc(d, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (s *Stream) SetWriteDeadline(time.Time) error { return nil }
+
+var errStreamTimeout = timeoutError{}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "torclient: stream read timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+type streamAddr struct{ s string }
+
+func (a streamAddr) Network() string { return "tor" }
+func (a streamAddr) String() string  { return a.s }

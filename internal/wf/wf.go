@@ -1,0 +1,315 @@
+// Package wf implements the website-fingerprinting substrate of §7: trace
+// capture at the client–guard link, feature extraction, and closed-world
+// classifiers standing in for the Deep Fingerprinting CNN (Sirinam et
+// al.). Feature-based attacks (k-NN over CUMUL-style cumulative traces,
+// plus a nearest-centroid baseline) exhibit the same defense-ordering
+// behavior the paper reports: high accuracy on unmodified traffic,
+// collapsing toward guess rate as Browser's padding removes size and
+// burst information.
+package wf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one observation at the tapped link.
+type Event struct {
+	Dir  int // +1 outbound (client→guard), -1 inbound
+	Size int
+	At   time.Duration // virtual time
+}
+
+// Trace is the event sequence of one page visit.
+type Trace struct {
+	Events []Event
+}
+
+// TotalIn returns total inbound bytes.
+func (t *Trace) TotalIn() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Dir < 0 {
+			n += e.Size
+		}
+	}
+	return n
+}
+
+// TotalOut returns total outbound bytes.
+func (t *Trace) TotalOut() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Dir > 0 {
+			n += e.Size
+		}
+	}
+	return n
+}
+
+// Collector records a trace from a torclient traffic tap.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Tap returns the function to install with torclient.SetTrafficTap.
+func (c *Collector) Tap() func(dir, size int, at time.Duration) {
+	return func(dir, size int, at time.Duration) {
+		c.mu.Lock()
+		c.events = append(c.events, Event{Dir: dir, Size: size, At: at})
+		c.mu.Unlock()
+	}
+}
+
+// Reset clears recorded events (call between visits).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.events = nil
+	c.mu.Unlock()
+}
+
+// Snapshot returns the trace recorded since the last Reset.
+func (c *Collector) Snapshot() *Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Trace{Events: append([]Event(nil), c.events...)}
+}
+
+// NumFeatures is the dimensionality of the feature vector: m cumulative
+// samples plus 4 aggregate features.
+func NumFeatures(m int) int { return m + 4 }
+
+// Features extracts a CUMUL-style feature vector: the cumulative signed
+// byte sequence sampled at m equidistant points, plus totals and packet
+// counts. Sizes are in cells, directions signed, as the attacks in the
+// literature use.
+func Features(t *Trace, m int) []float64 {
+	out := make([]float64, 0, NumFeatures(m))
+
+	// Cumulative signed sum sampled at m points.
+	cum := make([]float64, 0, len(t.Events))
+	run := 0.0
+	for _, e := range t.Events {
+		run += float64(e.Dir * e.Size)
+		cum = append(cum, run)
+	}
+	for i := 0; i < m; i++ {
+		if len(cum) == 0 {
+			out = append(out, 0)
+			continue
+		}
+		idx := i * (len(cum) - 1) / max(m-1, 1)
+		out = append(out, cum[idx])
+	}
+
+	var inB, outB, inN, outN float64
+	for _, e := range t.Events {
+		if e.Dir > 0 {
+			outB += float64(e.Size)
+			outN++
+		} else {
+			inB += float64(e.Size)
+			inN++
+		}
+	}
+	out = append(out, inB, outB, inN, outN)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Sample is one labeled feature vector.
+type Sample struct {
+	Label    int
+	Features []float64
+}
+
+// KNN is a k-nearest-neighbors classifier with feature standardization.
+type KNN struct {
+	K       int
+	samples []Sample
+	mean    []float64
+	std     []float64
+}
+
+// NewKNN creates a classifier (k=3 if k<=0).
+func NewKNN(k int) *KNN {
+	if k <= 0 {
+		k = 3
+	}
+	return &KNN{K: k}
+}
+
+// Train fits the standardization and stores the training set.
+func (c *KNN) Train(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("wf: empty training set")
+	}
+	dim := len(samples[0].Features)
+	c.mean = make([]float64, dim)
+	c.std = make([]float64, dim)
+	for _, s := range samples {
+		if len(s.Features) != dim {
+			return fmt.Errorf("wf: inconsistent feature dimensions")
+		}
+		for i, v := range s.Features {
+			c.mean[i] += v
+		}
+	}
+	for i := range c.mean {
+		c.mean[i] /= float64(len(samples))
+	}
+	for _, s := range samples {
+		for i, v := range s.Features {
+			d := v - c.mean[i]
+			c.std[i] += d * d
+		}
+	}
+	for i := range c.std {
+		c.std[i] = math.Sqrt(c.std[i] / float64(len(samples)))
+		if c.std[i] == 0 {
+			c.std[i] = 1
+		}
+	}
+	c.samples = make([]Sample, len(samples))
+	for i, s := range samples {
+		c.samples[i] = Sample{Label: s.Label, Features: c.normalize(s.Features)}
+	}
+	return nil
+}
+
+func (c *KNN) normalize(f []float64) []float64 {
+	out := make([]float64, len(f))
+	for i, v := range f {
+		out[i] = (v - c.mean[i]) / c.std[i]
+	}
+	return out
+}
+
+// Predict returns the majority label among the k nearest neighbors.
+func (c *KNN) Predict(features []float64) int {
+	f := c.normalize(features)
+	type scored struct {
+		d     float64
+		label int
+	}
+	dists := make([]scored, len(c.samples))
+	for i, s := range c.samples {
+		dists[i] = scored{d: sqDist(f, s.Features), label: s.Label}
+	}
+	sort.Slice(dists, func(i, j int) bool { return dists[i].d < dists[j].d })
+	k := c.K
+	if k > len(dists) {
+		k = len(dists)
+	}
+	votes := make(map[int]int)
+	best, bestVotes := -1, 0
+	for _, n := range dists[:k] {
+		votes[n.label]++
+		if votes[n.label] > bestVotes {
+			best, bestVotes = n.label, votes[n.label]
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	total := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		total += d * d
+	}
+	return total
+}
+
+// Centroid is a nearest-centroid classifier — a weaker second attack used
+// to confirm defense orderings are not classifier-specific.
+type Centroid struct {
+	centroids map[int][]float64
+}
+
+// Train computes per-label mean vectors.
+func (c *Centroid) Train(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("wf: empty training set")
+	}
+	sums := make(map[int][]float64)
+	counts := make(map[int]int)
+	for _, s := range samples {
+		if sums[s.Label] == nil {
+			sums[s.Label] = make([]float64, len(s.Features))
+		}
+		for i, v := range s.Features {
+			sums[s.Label][i] += v
+		}
+		counts[s.Label]++
+	}
+	c.centroids = make(map[int][]float64, len(sums))
+	for label, sum := range sums {
+		for i := range sum {
+			sum[i] /= float64(counts[label])
+		}
+		c.centroids[label] = sum
+	}
+	return nil
+}
+
+// Predict returns the label of the nearest centroid.
+func (c *Centroid) Predict(features []float64) int {
+	best, bestD := -1, math.Inf(1)
+	for label, cent := range c.centroids {
+		if d := sqDist(features, cent); d < bestD {
+			best, bestD = label, d
+		}
+	}
+	return best
+}
+
+// Classifier is the interface both attacks implement.
+type Classifier interface {
+	Train([]Sample) error
+	Predict([]float64) int
+}
+
+// EvaluateClosedWorld trains on trainPerSite traces per site and reports
+// accuracy on the remainder — the §7.3 closed-world setting.
+func EvaluateClosedWorld(c Classifier, traces map[int][]*Trace, trainPerSite, featureDim int) (float64, error) {
+	var train []Sample
+	type testCase struct {
+		label    int
+		features []float64
+	}
+	var test []testCase
+	for label, ts := range traces {
+		if len(ts) <= trainPerSite {
+			return 0, fmt.Errorf("wf: site %d has %d traces, need > %d", label, len(ts), trainPerSite)
+		}
+		for i, tr := range ts {
+			f := Features(tr, featureDim)
+			if i < trainPerSite {
+				train = append(train, Sample{Label: label, Features: f})
+			} else {
+				test = append(test, testCase{label: label, features: f})
+			}
+		}
+	}
+	if err := c.Train(train); err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, tc := range test {
+		if c.Predict(tc.features) == tc.label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test)), nil
+}

@@ -1,0 +1,192 @@
+package wf
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// synthTrace builds a trace with a site-specific pattern plus noise.
+func synthTrace(rng *rand.Rand, site int, noise float64) *Trace {
+	tr := &Trace{}
+	// Site-specific resource pattern: site i has i%7+2 "resources" of
+	// characteristic sizes.
+	nres := site%7 + 2
+	at := time.Duration(0)
+	for r := 0; r < nres; r++ {
+		// Request burst.
+		tr.Events = append(tr.Events, Event{Dir: +1, Size: 514, At: at})
+		at += time.Millisecond
+		// Response burst with site- and resource-specific size.
+		size := 2000 + site*997 + r*3517
+		size += int(noise * float64(rng.Intn(1000)))
+		for size > 0 {
+			chunk := 514
+			if size < chunk {
+				chunk = size
+			}
+			tr.Events = append(tr.Events, Event{Dir: -1, Size: chunk, At: at})
+			size -= chunk
+			at += 100 * time.Microsecond
+		}
+	}
+	return tr
+}
+
+// paddedTrace simulates the Browser defense: one small upload, one large
+// fixed-size download.
+func paddedTrace(rng *rand.Rand, padTo int) *Trace {
+	tr := &Trace{}
+	at := time.Duration(0)
+	for i := 0; i < 4; i++ { // function upload
+		tr.Events = append(tr.Events, Event{Dir: +1, Size: 514, At: at})
+		at += time.Millisecond
+	}
+	size := padTo
+	for size > 0 {
+		chunk := 514
+		if size < chunk {
+			chunk = size
+		}
+		tr.Events = append(tr.Events, Event{Dir: -1, Size: chunk, At: at})
+		size -= chunk
+		at += 50 * time.Microsecond
+	}
+	return tr
+}
+
+func buildTraces(n, visits int, pad int, noise float64, seed int64) map[int][]*Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[int][]*Trace, n)
+	for site := 0; site < n; site++ {
+		for v := 0; v < visits; v++ {
+			var tr *Trace
+			if pad > 0 {
+				tr = paddedTrace(rng, pad)
+			} else {
+				tr = synthTrace(rng, site, noise)
+			}
+			out[site] = append(out[site], tr)
+		}
+	}
+	return out
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	tap := c.Tap()
+	tap(1, 514, time.Second)
+	tap(-1, 514, 2*time.Second)
+	tr := c.Snapshot()
+	if len(tr.Events) != 2 || tr.TotalOut() != 514 || tr.TotalIn() != 514 {
+		t.Fatalf("snapshot wrong: %+v", tr)
+	}
+	c.Reset()
+	if len(c.Snapshot().Events) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestFeaturesShapeAndDeterminism(t *testing.T) {
+	tr := synthTrace(rand.New(rand.NewSource(1)), 3, 0)
+	f1 := Features(tr, 50)
+	f2 := Features(tr, 50)
+	if len(f1) != NumFeatures(50) {
+		t.Fatalf("feature length %d, want %d", len(f1), NumFeatures(50))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("features not deterministic")
+		}
+	}
+	// Empty trace yields a valid zero vector.
+	fe := Features(&Trace{}, 50)
+	if len(fe) != NumFeatures(50) {
+		t.Fatal("empty-trace features wrong length")
+	}
+}
+
+func TestKNNHighAccuracyOnDistinctSites(t *testing.T) {
+	traces := buildTraces(20, 8, 0, 0.2, 42)
+	acc, err := EvaluateClosedWorld(NewKNN(3), traces, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("kNN accuracy %.2f on distinct sites, want ≥0.9", acc)
+	}
+}
+
+func TestKNNChanceOnPaddedTraffic(t *testing.T) {
+	traces := buildTraces(20, 8, 1<<20, 0, 43)
+	acc, err := EvaluateClosedWorld(NewKNN(3), traces, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 classes: chance = 0.05. Allow generous slack.
+	if acc > 0.25 {
+		t.Fatalf("kNN accuracy %.2f on fully padded traffic, want ≈chance", acc)
+	}
+}
+
+func TestCentroidOrderingMatchesKNN(t *testing.T) {
+	distinct := buildTraces(10, 8, 0, 0.2, 44)
+	padded := buildTraces(10, 8, 1<<20, 0, 45)
+	accD, err := EvaluateClosedWorld(&Centroid{}, distinct, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accP, err := EvaluateClosedWorld(&Centroid{}, padded, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accD <= accP {
+		t.Fatalf("centroid: defended (%.2f) ≥ undefended (%.2f)", accP, accD)
+	}
+	if accD < 0.8 {
+		t.Fatalf("centroid accuracy %.2f on distinct sites too low", accD)
+	}
+}
+
+func TestEvaluateClosedWorldValidation(t *testing.T) {
+	traces := buildTraces(3, 2, 0, 0, 46)
+	if _, err := EvaluateClosedWorld(NewKNN(3), traces, 2, 50); err == nil {
+		t.Fatal("insufficient traces accepted")
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	knn := NewKNN(0)
+	if knn.K != 3 {
+		t.Fatalf("default k = %d", knn.K)
+	}
+	if err := knn.Train(nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if err := knn.Train([]Sample{
+		{Label: 0, Features: []float64{1, 2}},
+		{Label: 1, Features: []float64{1}},
+	}); err == nil {
+		t.Fatal("inconsistent dimensions accepted")
+	}
+}
+
+func TestKNNConstantFeatureStability(t *testing.T) {
+	// A feature with zero variance must not produce NaNs.
+	samples := []Sample{
+		{Label: 0, Features: []float64{1, 5}},
+		{Label: 0, Features: []float64{1, 6}},
+		{Label: 1, Features: []float64{1, 50}},
+		{Label: 1, Features: []float64{1, 51}},
+	}
+	knn := NewKNN(1)
+	if err := knn.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	if got := knn.Predict([]float64{1, 52}); got != 1 {
+		t.Fatalf("predicted %d, want 1", got)
+	}
+	if got := knn.Predict([]float64{1, 5.5}); got != 0 {
+		t.Fatalf("predicted %d, want 0", got)
+	}
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+type msg struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	Blob  []byte `json:"blob,omitempty"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := msg{Name: "hello", Count: 42, Blob: []byte{1, 2, 3}}
+	if err := WriteJSON(&buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got msg
+	if err := ReadJSON(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.Count != want.Count || !bytes.Equal(got.Blob, want.Blob) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestMultipleFrames(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteJSON(&buf, &msg{Count: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		var got msg
+		if err := ReadJSON(&buf, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != i {
+			t.Fatalf("frame %d: got %d", i, got.Count)
+		}
+	}
+	var extra msg
+	if err := ReadJSON(&buf, &extra); err == nil {
+		t.Fatal("read past last frame succeeded")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessage+1)
+	buf.Write(hdr[:])
+	var got msg
+	if err := ReadJSON(&buf, &got); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	WriteJSON(&buf, &msg{Name: "x"})
+	data := buf.Bytes()
+	short := bytes.NewReader(data[:len(data)-2])
+	var got msg
+	if err := ReadJSON(short, &got); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestGarbageBody(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("not json at all")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	var got msg
+	if err := ReadJSON(&buf, &got); err == nil {
+		t.Fatal("garbage body accepted")
+	}
+}
+
+func TestUnmarshalableValueRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, func() {}); err == nil {
+		t.Fatal("function value marshaled")
+	}
+}
+
+// Property: any blob survives framing.
+func TestFramingProperty(t *testing.T) {
+	check := func(name string, blob []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, &msg{Name: name, Blob: blob}); err != nil {
+			return false
+		}
+		var got msg
+		if err := ReadJSON(&buf, &got); err != nil {
+			return false
+		}
+		return got.Name == name && bytes.Equal(got.Blob, blob)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
