@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/simnet/ ./internal/torclient/ ./internal/bento/
+
+# check is the full pre-merge gate: vet + build + tests + race detector.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) run ./cmd/benchharness -exp all

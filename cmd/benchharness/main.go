@@ -7,7 +7,10 @@
 //	benchharness -exp table1 -full   # paper-scale Table 1 (slow)
 //	benchharness -exp figure5
 //
-// Experiments: table1, table2, figure5, scalability, ablations, all.
+// Experiments: table1, table2, figure5, chaos, scalability, ablations,
+// all. The chaos experiment measures throughput retained under injected
+// faults (link loss, a relay crash, a Bento node outage, a killed
+// function) relative to a fault-free baseline.
 package main
 
 import (
@@ -20,15 +23,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|scalability|ablations|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|scalability|ablations|all")
 	full := flag.Bool("full", false, "run paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	flag.Parse()
 
+	ran := false
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		ran = true
 		fmt.Printf("=== %s ===\n", name)
 		start := time.Now()
 		if err := f(); err != nil {
@@ -86,6 +91,22 @@ func main() {
 		return nil
 	})
 
+	run("chaos", func() error {
+		cfg := bench.DefaultChaosConfig()
+		cfg.Seed = *seed
+		if *full {
+			cfg.Clients = 12
+			cfg.Ops = 20
+			cfg.FileSize = 256 << 10
+		}
+		res, err := bench.RunChaos(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
 	run("scalability", func() error {
 		res, err := bench.RunScalability(bench.DefaultScalabilityConfig())
 		if err != nil {
@@ -136,4 +157,9 @@ func main() {
 		fmt.Println(cover)
 		return nil
 	})
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|scalability|ablations|all\n", *exp)
+		os.Exit(2)
+	}
 }

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/bento"
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/policy"
+	"github.com/bento-nfv/bento/internal/simnet"
+	"github.com/bento-nfv/bento/internal/testbed"
+)
+
+// ChaosConfig describes the degradation experiment: the Figure-5-style
+// replicated content workload, run once fault-free and once under
+// injected faults, reporting how much throughput the self-healing stack
+// (circuit rebuilds, session retries, the server watchdog) retains.
+type ChaosConfig struct {
+	// Replicas is the number of Bento nodes, each serving one replica
+	// function holding a copy of the content.
+	Replicas int
+	// Clients download concurrently, assigned round-robin to replicas.
+	Clients int
+	// Ops is how many serve() calls each client performs.
+	Ops int
+	// FileSize is the content size returned per serve().
+	FileSize int
+	// ServeEgress caps each Bento node's uplink in bytes per virtual
+	// second — the contended resource, as in Figure 5.
+	ServeEgress float64
+	// ArrivalGap staggers client starts.
+	ArrivalGap time.Duration
+
+	// LossProb is the per-chunk loss probability injected on every link
+	// (the paper-style "5% loss" condition).
+	LossProb float64
+	// RetransDelay is the extra latency charged per lost chunk, modeling
+	// a fast retransmit a few RTTs later.
+	RetransDelay time.Duration
+	// DialFailProb makes a fraction of connection attempts fail outright.
+	DialFailProb float64
+	// RelayCrashAt permanently crashes one non-Bento relay this far into
+	// the measured run (0 disables).
+	RelayCrashAt time.Duration
+	// NodeOutageAt takes Bento node 0's host off the network this far
+	// into the run, for NodeOutage of virtual time (0 disables).
+	NodeOutageAt time.Duration
+	NodeOutage   time.Duration
+	// KillReplicaAt kills the last replica's interpreter mid-run, so the
+	// server watchdog must revive it (0 disables).
+	KillReplicaAt time.Duration
+
+	ClockScale float64
+	Seed       int64
+}
+
+// DefaultChaosConfig is the quick configuration: three replicas, six
+// clients, 5% loss and dial failure, one relay lost for good, one Bento
+// node offline for 1.5 virtual seconds, and one replica killed.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Replicas:      3,
+		Clients:       6,
+		Ops:           12,
+		FileSize:      96 << 10,
+		ServeEgress:   400 * 1024,
+		ArrivalGap:    100 * time.Millisecond,
+		LossProb:      0.05,
+		RetransDelay:  25 * time.Millisecond,
+		DialFailProb:  0.05,
+		RelayCrashAt:  1 * time.Second,
+		NodeOutageAt:  2 * time.Second,
+		NodeOutage:    1500 * time.Millisecond,
+		KillReplicaAt: 3 * time.Second,
+		ClockScale:    0.02,
+		Seed:          7,
+	}
+}
+
+// chaosReplicaSource is the replica function: setup() stores the content
+// in the container filesystem (so it survives watchdog restarts), serve()
+// streams it back.
+const chaosReplicaSource = `
+def setup(content):
+    fs.write("content", content)
+    return 1
+
+def serve():
+    api.send(fs.read("content"))
+    return 1
+`
+
+// chaosManifest opts in to the watchdog: a killed replica comes back with
+// its filesystem (and the content) intact.
+func chaosManifest() *policy.Manifest {
+	return &policy.Manifest{
+		Name:         "chaos-replica",
+		Image:        "python",
+		Calls:        []string{"tor.send", "fs.read", "fs.write"},
+		Memory:       8 << 20,
+		Instructions: 5_000_000,
+		Storage:      8 << 20,
+		Restart:      policy.RestartOnFailure,
+	}
+}
+
+// ChaosRunStats summarizes one condition of the experiment.
+type ChaosRunStats struct {
+	Bytes    int64         // content bytes delivered to clients
+	Ops      int           // successful serve() calls
+	Errors   []string      // application-visible failures (want: none)
+	Duration time.Duration // virtual time, first client start to last finish
+	Restarts int           // watchdog revivals across all replicas
+}
+
+// ThroughputKBs is the aggregate goodput over the run.
+func (s *ChaosRunStats) ThroughputKBs() float64 {
+	d := s.Duration.Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / 1024 / d
+}
+
+// ChaosResult holds both conditions.
+type ChaosResult struct {
+	Config   ChaosConfig
+	Baseline *ChaosRunStats
+	Faulted  *ChaosRunStats
+}
+
+// Retained is the fraction of fault-free throughput the faulted run kept.
+func (r *ChaosResult) Retained() float64 {
+	base := r.Baseline.ThroughputKBs()
+	if base <= 0 {
+		return 0
+	}
+	return r.Faulted.ThroughputKBs() / base
+}
+
+// String renders the two conditions side by side.
+func (r *ChaosResult) String() string {
+	var b strings.Builder
+	cfg := r.Config
+	fmt.Fprintf(&b, "Chaos degradation: %d clients x %d ops x %d KB across %d replicas\n",
+		cfg.Clients, cfg.Ops, cfg.FileSize>>10, cfg.Replicas)
+	b.WriteString("condition   ops-ok  MB     duration(s)  KB/s    errors  restarts\n")
+	row := func(name string, s *ChaosRunStats) {
+		fmt.Fprintf(&b, "%-10s  %6d  %5.1f  %11.1f  %6.1f  %6d  %8d\n",
+			name, s.Ops, float64(s.Bytes)/(1<<20), s.Duration.Seconds(),
+			s.ThroughputKBs(), len(s.Errors), s.Restarts)
+	}
+	row("fault-free", r.Baseline)
+	row("faulted", r.Faulted)
+	fmt.Fprintf(&b, "faults: %.0f%% chunk loss (+%s retrans), %.0f%% dial failure",
+		cfg.LossProb*100, cfg.RetransDelay, cfg.DialFailProb*100)
+	if cfg.RelayCrashAt > 0 {
+		fmt.Fprintf(&b, ", relay crash at %s", cfg.RelayCrashAt)
+	}
+	if cfg.NodeOutageAt > 0 {
+		fmt.Fprintf(&b, ", node 0 offline %s-%s", cfg.NodeOutageAt, cfg.NodeOutageAt+cfg.NodeOutage)
+	}
+	if cfg.KillReplicaAt > 0 {
+		fmt.Fprintf(&b, ", replica killed at %s", cfg.KillReplicaAt)
+	}
+	b.WriteString("\n")
+	for _, e := range r.Faulted.Errors {
+		fmt.Fprintf(&b, "faulted-run error: %s\n", e)
+	}
+	fmt.Fprintf(&b, "throughput retained under faults: %.1f%%\n", r.Retained()*100)
+	return b.String()
+}
+
+// RunChaos runs the workload fault-free and faulted and reports both.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if cfg.Replicas < 1 || cfg.Clients < 1 || cfg.Ops < 1 || cfg.FileSize < 1 {
+		return nil, fmt.Errorf("bench: bad chaos config %+v", cfg)
+	}
+	baseline, err := runChaosWorkload(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fault-free run: %w", err)
+	}
+	faulted, err := runChaosWorkload(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: faulted run: %w", err)
+	}
+	return &ChaosResult{Config: cfg, Baseline: baseline, Faulted: faulted}, nil
+}
+
+// runChaosWorkload deploys one replica per Bento node, runs the client
+// fleet, and (when faulted) injects the fault schedule mid-run.
+func runChaosWorkload(cfg ChaosConfig, faulted bool) (*ChaosRunStats, error) {
+	w, err := testbed.New(testbed.Config{
+		Relays:      cfg.Replicas + 6,
+		BentoNodes:  cfg.Replicas,
+		ClockScale:  cfg.ClockScale,
+		BentoEgress: cfg.ServeEgress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	clock := w.Clock()
+
+	var ch *simnet.Chaos
+	if faulted {
+		ch = w.EnableChaos(cfg.Seed)
+	}
+
+	content := make([]byte, cfg.FileSize)
+	for i := range content {
+		content[i] = byte(i * 13)
+	}
+
+	// Deployment is fault-free in both conditions: faults start with the
+	// measured run, modeling a service already up when trouble hits.
+	owner := w.NewBentoClient("chaos-owner", cfg.Seed)
+	nodes := make([]*dirauth.Descriptor, cfg.Replicas)
+	tokens := make([]string, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		nodes[i] = w.BentoNode(i)
+		if nodes[i] == nil {
+			return nil, fmt.Errorf("bench: no Bento node %d", i)
+		}
+		sess := owner.NewSession(nodes[i], bento.SessionConfig{})
+		fn, err := sess.Spawn(chaosManifest())
+		if err != nil {
+			sess.Close()
+			return nil, fmt.Errorf("bench: spawning replica %d: %w", i, err)
+		}
+		if err := fn.Upload(chaosReplicaSource); err != nil {
+			sess.Close()
+			return nil, fmt.Errorf("bench: uploading replica %d: %w", i, err)
+		}
+		if _, _, err := fn.Invoke("setup", interp.Bytes(content)); err != nil {
+			sess.Close()
+			return nil, fmt.Errorf("bench: seeding replica %d: %w", i, err)
+		}
+		tokens[i] = fn.InvokeToken()
+		sess.Close()
+	}
+
+	start := clock.Now()
+	var faultWG sync.WaitGroup
+	if faulted {
+		ch.SetDefaultFaults(simnet.Faults{
+			LossProb:     cfg.LossProb,
+			RetransDelay: cfg.RetransDelay,
+			DialFailProb: cfg.DialFailProb,
+		})
+		at := func(offset time.Duration, f func()) {
+			faultWG.Add(1)
+			go func() {
+				defer faultWG.Done()
+				if d := start + offset - clock.Now(); d > 0 {
+					clock.Sleep(d)
+				}
+				f()
+			}()
+		}
+		if cfg.RelayCrashAt > 0 {
+			// The first non-Bento relay: a transit hop, not a server.
+			name := fmt.Sprintf("relay%d", cfg.Replicas)
+			at(cfg.RelayCrashAt, func() { ch.CrashHost(name) })
+		}
+		if cfg.NodeOutageAt > 0 && cfg.NodeOutage > 0 {
+			name := nodes[0].Nickname
+			at(cfg.NodeOutageAt, func() { ch.CrashHostFor(name, cfg.NodeOutage) })
+		}
+		if cfg.KillReplicaAt > 0 {
+			victim := cfg.Replicas - 1
+			at(cfg.KillReplicaAt, func() { w.Servers[victim].KillFunction(tokens[victim]) })
+		}
+	}
+
+	type clientRec struct {
+		bytes  int64
+		ops    int
+		errors []string
+	}
+	recs := make([]clientRec, cfg.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		if i > 0 && cfg.ArrivalGap > 0 {
+			clock.Sleep(cfg.ArrivalGap)
+		}
+		replica := i % cfg.Replicas
+		cli := w.NewBentoClient(fmt.Sprintf("chaos-client%d", i), cfg.Seed+int64(i)*31)
+		wg.Add(1)
+		go func(i, replica int, cli *bento.Client) {
+			defer wg.Done()
+			rec := &recs[i]
+			sess := cli.NewSession(nodes[replica], bento.SessionConfig{
+				MaxAttempts: 12,
+				BaseBackoff: 100 * time.Millisecond,
+				MaxBackoff:  1 * time.Second,
+				OpDeadline:  30 * time.Second,
+			})
+			defer sess.Close()
+			fn := sess.Attach(tokens[replica])
+			for op := 0; op < cfg.Ops; op++ {
+				out, _, err := fn.Invoke("serve")
+				if err != nil {
+					rec.errors = append(rec.errors, fmt.Sprintf("client %d op %d: %v", i, op, err))
+					continue
+				}
+				if !bytes.Equal(out, content) {
+					rec.errors = append(rec.errors, fmt.Sprintf("client %d op %d: corrupt content (%d of %d bytes)", i, op, len(out), len(content)))
+					continue
+				}
+				rec.bytes += int64(len(out))
+				rec.ops++
+			}
+		}(i, replica, cli)
+	}
+	wg.Wait()
+	stats := &ChaosRunStats{Duration: clock.Now() - start}
+	faultWG.Wait()
+
+	for i := range recs {
+		stats.Bytes += recs[i].bytes
+		stats.Ops += recs[i].ops
+		stats.Errors = append(stats.Errors, recs[i].errors...)
+	}
+	for i, srv := range w.Servers {
+		stats.Restarts += srv.FunctionRestarts(tokens[i])
+	}
+	return stats, nil
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosDegradation is the acceptance check for the self-healing
+// stack: with a fixed seed, the faulted run (5% loss, a relay crash, a
+// Bento node outage, a killed replica) must complete the workload with
+// zero application-visible errors while retaining at least half the
+// fault-free throughput.
+func TestChaosDegradation(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Replicas = 2
+	cfg.Clients = 4
+	cfg.Ops = 16
+	cfg.FileSize = 64 << 10
+	cfg.NodeOutage = 1 * time.Second
+	// A larger scale slows the run in wall terms but keeps scheduling
+	// jitter small relative to virtual time, steadying the measurement.
+	cfg.ClockScale = 0.05
+
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+
+	if len(res.Baseline.Errors) != 0 {
+		t.Errorf("fault-free run had %d errors: %v", len(res.Baseline.Errors), res.Baseline.Errors)
+	}
+	if len(res.Faulted.Errors) != 0 {
+		t.Errorf("faulted run had %d application-visible errors: %v", len(res.Faulted.Errors), res.Faulted.Errors)
+	}
+	wantOps := cfg.Clients * cfg.Ops
+	if res.Faulted.Ops != wantOps {
+		t.Errorf("faulted run completed %d/%d ops", res.Faulted.Ops, wantOps)
+	}
+	if res.Faulted.Restarts < 1 {
+		t.Errorf("killed replica was never revived (restarts = %d)", res.Faulted.Restarts)
+	}
+	if got := res.Retained(); got < 0.5 {
+		t.Errorf("throughput retained under faults = %.1f%%, want >= 50%%", got*100)
+	}
+}

@@ -62,14 +62,26 @@ type Conn struct {
 	cachedPolicy *policy.Middlebox
 }
 
+// ErrTransport wraps failures of the Tor transport under a Bento
+// connection — circuit death, severed streams, timeouts. Operations
+// failing with it did not necessarily reach the server; idempotent ones
+// may be retried on a fresh connection (which the Session layer does).
+var ErrTransport = errors.New("bento: transport failure")
+
+// ErrRestarted wraps invocation errors for which the server reported its
+// watchdog already revived the function: the same tokens remain valid and
+// the invocation may simply be retried.
+var ErrRestarted = errors.New("bento: function restarted by server")
+
 // Connect reaches the Bento server co-resident with the given relay by
 // building a circuit that exits at that relay and connecting to the
 // server via localhost (the §5 deployment mode that needs no changes to
-// Tor).
+// Tor). Relays on the Tor client's avoid list are skipped when choosing
+// the two leading hops, so reconnects route around recent failures.
 func (c *Client) Connect(node *dirauth.Descriptor) (*Conn, error) {
 	cons := c.Tor.Consensus()
 	var path []*dirauth.Descriptor
-	pool := dirauth.PreferFast(cons.Relays, node.Nickname)
+	pool := c.Tor.FilterHealthy(dirauth.PreferFast(cons.Relays, node.Nickname))
 	switch {
 	case len(pool) >= 2:
 		i := c.Tor.Intn(len(pool))
@@ -85,12 +97,12 @@ func (c *Client) Connect(node *dirauth.Descriptor) (*Conn, error) {
 	}
 	circ, err := c.Tor.BuildCircuit(path)
 	if err != nil {
-		return nil, fmt.Errorf("bento: circuit to %s: %w", node.Nickname, err)
+		return nil, fmt.Errorf("%w: circuit to %s: %v", ErrTransport, node.Nickname, err)
 	}
 	stream, err := circ.OpenStream(fmt.Sprintf("localhost:%d", Port))
 	if err != nil {
 		circ.Close()
-		return nil, fmt.Errorf("bento: connecting to Bento server on %s: %w", node.Nickname, err)
+		return nil, fmt.Errorf("%w: connecting to Bento server on %s: %v", ErrTransport, node.Nickname, err)
 	}
 	return &Conn{client: c, stream: stream, circ: circ}, nil
 }
@@ -120,17 +132,19 @@ func (co *Conn) Close() error {
 }
 
 // roundTrip sends a request and reads frames until a terminal frame,
-// passing any data frames to onData.
+// passing any data frames to onData. Stream-level failures come back
+// wrapped in ErrTransport so callers can tell a dead connection (retry on
+// a fresh one) from a server-reported error (don't).
 func (co *Conn) roundTrip(req *request, onData func([]byte)) (*response, error) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if err := wire.WriteJSON(co.stream, req); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrTransport, err)
 	}
 	for {
 		var resp response
 		if err := wire.ReadJSON(co.stream, &resp); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrTransport, err)
 		}
 		switch resp.Type {
 		case frameData:
@@ -138,13 +152,16 @@ func (co *Conn) roundTrip(req *request, onData func([]byte)) (*response, error) 
 			if resp.BinaryLen > 0 {
 				payload = make([]byte, resp.BinaryLen)
 				if _, err := io.ReadFull(co.stream, payload); err != nil {
-					return nil, err
+					return nil, fmt.Errorf("%w: %v", ErrTransport, err)
 				}
 			}
 			if onData != nil {
 				onData(payload)
 			}
 		case frameError:
+			if resp.Restarted {
+				return &resp, fmt.Errorf("%w: %s", ErrRestarted, resp.Error)
+			}
 			return &resp, errors.New("bento: " + resp.Error)
 		default:
 			return &resp, nil
@@ -249,9 +266,16 @@ func (co *Conn) solveSpawnPuzzle(req *request) error {
 // returned Function carries a verified attestation of the container
 // enclave; Upload will seal code to it.
 func (co *Conn) Spawn(man *policy.Manifest) (*Function, error) {
+	return co.SpawnKeyed(man, "")
+}
+
+// SpawnKeyed spawns with an idempotency key: retrying with the same key
+// (e.g. after a transport failure that ate the response) returns the
+// original function's tokens instead of creating a duplicate container.
+func (co *Conn) SpawnKeyed(man *policy.Manifest, spawnKey string) (*Function, error) {
 	nonce := make([]byte, 16)
 	rand.Read(nonce)
-	req := &request{Op: opSpawn, Image: man.Image, Manifest: man, Nonce: nonce}
+	req := &request{Op: opSpawn, Image: man.Image, Manifest: man, Nonce: nonce, SpawnKey: spawnKey}
 	if err := co.solveSpawnPuzzle(req); err != nil {
 		return nil, err
 	}
@@ -339,6 +363,11 @@ func (f *Function) InvokeStream(fn string, args []interp.Value, onData func([]by
 		return nil, err
 	}
 	if resp.Error != "" {
+		if resp.Restarted {
+			// The server's watchdog already revived the function; the
+			// same token works, so the caller may just try again.
+			return nil, fmt.Errorf("%w: %s", ErrRestarted, resp.Error)
+		}
 		return nil, errors.New("bento: " + resp.Error)
 	}
 	if resp.Result == nil {

@@ -43,6 +43,12 @@ type request struct {
 	Challenge []byte `json:"challenge,omitempty"`
 	PoWNonce  uint64 `json:"pow_nonce,omitempty"`
 
+	// SpawnKey makes a spawn idempotent: re-spawning with a key the
+	// server has already honored replays the original tokens instead of
+	// creating a second container, so a client may safely retry a spawn
+	// whose response was lost in transit.
+	SpawnKey string `json:"spawn_key,omitempty"`
+
 	Code   []byte `json:"code,omitempty"`
 	Sealed bool   `json:"sealed,omitempty"`
 
@@ -80,6 +86,11 @@ type response struct {
 	BinaryLen int       `json:"binary_len,omitempty"`
 	Result    *wireValu `json:"result,omitempty"`
 	Stdout    string    `json:"stdout,omitempty"`
+
+	// Restarted, on a done frame carrying an error, tells the client the
+	// function died but the server's watchdog brought it back: the same
+	// tokens remain valid and the invocation may be retried.
+	Restarted bool `json:"restarted,omitempty"`
 }
 
 // wireValu is the JSON encoding of an interp.Value crossing the protocol.

@@ -23,19 +23,27 @@ func TestServerSurvivesGarbageFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Write a frame that is valid JSON but a nonsense op.
-	if _, err := conn.roundTrip(&request{Op: "pwn"}, nil); err == nil {
+	_, err = conn.roundTrip(&request{Op: "pwn"}, nil)
+	if err == nil {
 		t.Fatal("nonsense op succeeded")
+	}
+	if !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("nonsense op error = %v, want the server's rejection, not a dead stream", err)
 	}
 	conn.Close()
 
-	// Raw bytes that are not a frame at all.
-	path, _ := cli.Tor.PickPath(node.Nickname, 9001)
-	_ = path
+	// Raw bytes that are not a frame at all: the server must drop the
+	// connection rather than wedge on it.
 	conn2, err := cli.Connect(node)
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn2.stream.Write([]byte("\xff\xff\xff\xff garbage garbage"))
+	if _, err := conn2.stream.Write([]byte("\xff\xff\xff\xff garbage garbage")); err != nil {
+		t.Fatalf("writing garbage: %v", err)
+	}
+	if _, err := conn2.stream.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept the stream open after a malformed frame")
+	}
 	conn2.Close()
 
 	// The server still works for honest clients.

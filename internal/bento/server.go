@@ -69,19 +69,40 @@ type Server struct {
 	mu         sync.Mutex
 	functions  map[string]*runningFunction // invoke token -> fn
 	shutdowns  map[string]*runningFunction // shutdown token -> fn
+	spawnKeys  map[string]*runningFunction // idempotency key -> fn
 	challenges map[string]bool             // outstanding single-use spawn puzzles
 }
 
-// runningFunction is one spawned container plus its tokens.
+// runningFunction is one spawned container plus its tokens. The container
+// pointer is replaced by the restart watchdog, so all access goes through
+// ctr/setCtr; tokens, manifest, and the file store survive restarts.
 type runningFunction struct {
-	container *sandbox.Container
-	stem      *stemfw.Session
 	invokeTok string
 	shutTok   string
+	man       *policy.Manifest
+	spawnKey  string
+
+	cmu       sync.Mutex
+	container *sandbox.Container
+	stem      *stemfw.Session
+	code      string // last successfully uploaded source, re-run on restart
+	restarts  int
 
 	runMu  sync.Mutex // one invocation at a time
 	emitMu sync.Mutex
 	emit   func([]byte) error // current invocation's data sink
+}
+
+func (rf *runningFunction) ctr() *sandbox.Container {
+	rf.cmu.Lock()
+	defer rf.cmu.Unlock()
+	return rf.container
+}
+
+func (rf *runningFunction) stemSession() *stemfw.Session {
+	rf.cmu.Lock()
+	defer rf.cmu.Unlock()
+	return rf.stem
 }
 
 // setEmit installs (or clears) the active invocation's data sink.
@@ -120,6 +141,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		ln:         ln,
 		functions:  make(map[string]*runningFunction),
 		shutdowns:  make(map[string]*runningFunction),
+		spawnKeys:  make(map[string]*runningFunction),
 		challenges: make(map[string]bool),
 	}
 	if cfg.Tor != nil {
@@ -147,6 +169,7 @@ func (s *Server) Close() error {
 	}
 	s.functions = map[string]*runningFunction{}
 	s.shutdowns = map[string]*runningFunction{}
+	s.spawnKeys = map[string]*runningFunction{}
 	s.mu.Unlock()
 	for _, rf := range fns {
 		s.teardown(rf)
@@ -177,7 +200,7 @@ func (s *Server) FunctionMemoryEstimate() int64 {
 	var total int64
 	for _, rf := range fns {
 		rf.runMu.Lock()
-		total += rf.container.Machine().PeakMemory()
+		total += rf.ctr().Machine().PeakMemory()
 		rf.runMu.Unlock()
 	}
 	return total
@@ -312,6 +335,29 @@ func (s *Server) handleSpawn(req *request, send func(*response) error) error {
 	if req.Manifest == nil {
 		return send(&response{Type: frameError, Error: "missing manifest"})
 	}
+	// Idempotent replay comes before the PoW check: the original spawn
+	// already consumed its single-use challenge, so a retry of a lost
+	// response must not be asked to pay again.
+	if req.SpawnKey != "" {
+		s.mu.Lock()
+		prior := s.spawnKeys[req.SpawnKey]
+		s.mu.Unlock()
+		if prior != nil {
+			resp := &response{
+				Type:          frameTokens,
+				InvokeToken:   prior.invokeTok,
+				ShutdownToken: prior.shutTok,
+			}
+			if e := prior.ctr().Enclave(); e != nil && s.cfg.IAS != nil {
+				report, err := s.attestEnclave(e, req.Nonce)
+				if err != nil {
+					return send(&response{Type: frameError, Error: err.Error()})
+				}
+				resp.Report = report
+			}
+			return send(resp)
+		}
+	}
 	if err := s.checkSpawnPoW(req); err != nil {
 		return send(&response{Type: frameError, Error: err.Error()})
 	}
@@ -330,6 +376,8 @@ func (s *Server) handleSpawn(req *request, send func(*response) error) error {
 		container: container,
 		invokeTok: newToken(),
 		shutTok:   newToken(),
+		man:       &man,
+		spawnKey:  req.SpawnKey,
 	}
 	if s.fw != nil {
 		rf.stem = s.fw.NewSession(container.ID(), man.Calls)
@@ -355,13 +403,18 @@ func (s *Server) handleSpawn(req *request, send func(*response) error) error {
 	s.mu.Lock()
 	s.functions[rf.invokeTok] = rf
 	s.shutdowns[rf.shutTok] = rf
+	if rf.spawnKey != "" {
+		s.spawnKeys[rf.spawnKey] = rf
+	}
 	s.mu.Unlock()
 	return send(resp)
 }
 
 // bindAPI installs the core API (api, fs, log) and any configured extras.
+// The watchdog calls it again after each restart, so the bindings always
+// close over the live container generation.
 func (s *Server) bindAPI(rf *runningFunction) {
-	c := rf.container
+	c := rf.ctr()
 	m := c.Machine()
 
 	m.Bind("api", interp.NewObject("api", map[string]interp.BuiltinFn{
@@ -455,7 +508,7 @@ func (s *Server) bindAPI(rf *runningFunction) {
 	if s.cfg.Bind != nil {
 		s.cfg.Bind(&Binding{
 			Container: c,
-			Stem:      rf.stem,
+			Stem:      rf.stemSession(),
 			Host:      s.cfg.Host,
 			Tor:       s.cfg.Tor,
 			Emit:      rf.Emit,
@@ -470,7 +523,7 @@ func (s *Server) handleUpload(req *request, send func(*response) error) error {
 	}
 	code := req.Code
 	if req.Sealed {
-		e := rf.container.Enclave()
+		e := rf.ctr().Enclave()
 		if e == nil {
 			return send(&response{Type: frameError, Error: "sealed upload to non-enclaved container"})
 		}
@@ -481,10 +534,19 @@ func (s *Server) handleUpload(req *request, send func(*response) error) error {
 		code = pt
 	}
 	rf.runMu.Lock()
-	err := rf.container.Run(string(code))
+	err := rf.ctr().Run(string(code))
+	if err == nil {
+		rf.cmu.Lock()
+		rf.code = string(code)
+		rf.cmu.Unlock()
+	}
+	var restarted bool
+	if err != nil {
+		restarted = s.maybeRestart(rf, err)
+	}
 	rf.runMu.Unlock()
 	if err != nil {
-		return send(&response{Type: frameError, Error: err.Error()})
+		return send(&response{Type: frameError, Error: err.Error(), Restarted: restarted})
 	}
 	return send(&response{Type: frameOK})
 }
@@ -507,11 +569,15 @@ func (s *Server) handleInvoke(req *request, send func(*response) error) error {
 	rf.setEmit(func(p []byte) error {
 		return send(&response{Type: frameData, Payload: p})
 	})
-	result, err := rf.container.Call(req.Function, args...)
+	result, err := rf.ctr().Call(req.Function, args...)
 	rf.setEmit(nil)
+	var restarted bool
+	if err != nil {
+		restarted = s.maybeRestart(rf, err)
+	}
 	rf.runMu.Unlock()
 
-	done := &response{Type: frameDone}
+	done := &response{Type: frameDone, Restarted: restarted}
 	if err != nil {
 		done.Error = err.Error()
 	} else if result != nil {
@@ -529,6 +595,9 @@ func (s *Server) handleShutdown(req *request, send func(*response) error) error 
 	if rf != nil {
 		delete(s.shutdowns, rf.shutTok)
 		delete(s.functions, rf.invokeTok)
+		if rf.spawnKey != "" {
+			delete(s.spawnKeys, rf.spawnKey)
+		}
 	}
 	s.mu.Unlock()
 	if rf == nil {
@@ -540,11 +609,12 @@ func (s *Server) handleShutdown(req *request, send func(*response) error) error 
 }
 
 func (s *Server) teardown(rf *runningFunction) {
-	rf.container.Kill()
-	if rf.stem != nil {
-		rf.stem.Close()
+	c := rf.ctr()
+	c.Kill()
+	if stem := rf.stemSession(); stem != nil {
+		stem.Close()
 	}
-	s.sup.Remove(rf.container.ID())
+	s.sup.Remove(c.ID())
 }
 
 func (s *Server) lookup(invokeTok string) *runningFunction {

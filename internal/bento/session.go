@@ -1,0 +1,305 @@
+// The client-side session layer: a self-healing wrapper around a Bento
+// connection. A Session retries idempotent operations (connect, policy,
+// attest, keyed spawn, invoke) across transport failures with capped
+// exponential backoff and per-operation deadlines, both in virtual time.
+// After a reconnect it reattaches to still-running functions through
+// their invocation tokens, so a Bento node restarting mid-session is
+// invisible to the application as long as the function's manifest asks
+// the server watchdog to bring it back.
+package bento
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/enclave"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/policy"
+)
+
+// ErrSessionClosed is returned by operations on a closed session.
+var ErrSessionClosed = errors.New("bento: session closed")
+
+// SessionConfig tunes a session's retry behavior. All durations are
+// virtual (simnet clock); zero fields take the defaults below.
+type SessionConfig struct {
+	// MaxAttempts bounds tries per operation (default 5).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; it doubles per
+	// attempt (default 200ms virtual).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 10s virtual).
+	MaxBackoff time.Duration
+	// OpDeadline bounds one attempt of one operation; an attempt
+	// exceeding it counts as a transport failure and is retried on a
+	// fresh connection (default 2min virtual).
+	OpDeadline time.Duration
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 200 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 10 * time.Second
+	}
+	if c.OpDeadline <= 0 {
+		c.OpDeadline = 2 * time.Minute
+	}
+	return c
+}
+
+// Session is a self-healing connection to one Bento node. It is safe for
+// concurrent use; operations serialize on the underlying Conn.
+type Session struct {
+	client *Client
+	node   *dirauth.Descriptor
+	cfg    SessionConfig
+
+	mu     sync.Mutex
+	conn   *Conn
+	closed bool
+}
+
+// NewSession creates a session to the given node. No connection is made
+// until the first operation needs one.
+func (c *Client) NewSession(node *dirauth.Descriptor, cfg SessionConfig) *Session {
+	return &Session{client: c, node: node, cfg: cfg.withDefaults()}
+}
+
+// Node returns the descriptor of the session's Bento node.
+func (s *Session) Node() *dirauth.Descriptor { return s.node }
+
+// ensure returns the live connection, dialing one if needed.
+func (s *Session) ensure() (*Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if s.conn != nil {
+		return s.conn, nil
+	}
+	co, err := s.client.Connect(s.node)
+	if err != nil {
+		return nil, err
+	}
+	s.conn = co
+	return co, nil
+}
+
+// invalidate drops a connection observed failing so the next attempt
+// dials a fresh circuit (which avoids recently-failed relays).
+func (s *Session) invalidate(co *Conn) {
+	s.mu.Lock()
+	if s.conn == co {
+		s.conn = nil
+	}
+	s.mu.Unlock()
+	if co != nil {
+		co.Close()
+	}
+}
+
+// Close tears the session down.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	co := s.conn
+	s.conn = nil
+	s.closed = true
+	s.mu.Unlock()
+	if co != nil {
+		return co.Close()
+	}
+	return nil
+}
+
+// withRetry runs op against the session's connection, retrying transport
+// failures (on a fresh connection) and watchdog restarts (same
+// connection) with capped exponential backoff on the virtual clock.
+// Application errors are returned as-is; they would fail again.
+func (s *Session) withRetry(opName string, op func(*Conn) error) error {
+	clock := s.client.Tor.Clock()
+	backoff := s.cfg.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			clock.Sleep(backoff)
+			backoff = min(backoff*2, s.cfg.MaxBackoff)
+		}
+		co, err := s.ensure()
+		if err != nil {
+			if errors.Is(err, ErrSessionClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		// The per-op deadline lives on the virtual clock; convert to the
+		// wall instant net.Conn wants.
+		wall := time.Duration(float64(s.cfg.OpDeadline) * clock.Scale())
+		co.stream.SetReadDeadline(time.Now().Add(wall))
+		err = op(co)
+		co.stream.SetReadDeadline(time.Time{})
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, ErrTransport):
+			s.invalidate(co)
+		case errors.Is(err, ErrRestarted):
+			// The server already revived the function; same connection,
+			// same token, just try again.
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("bento: %s: giving up after %d attempts: %w", opName, s.cfg.MaxAttempts, lastErr)
+}
+
+// Policy fetches the node's middlebox policy.
+func (s *Session) Policy() (*policy.Middlebox, error) {
+	var out *policy.Middlebox
+	err := s.withRetry("policy", func(co *Conn) error {
+		p, err := co.Policy()
+		if err == nil {
+			out = p
+		}
+		return err
+	})
+	return out, err
+}
+
+// Attest verifies the node's runtime enclave.
+func (s *Session) Attest() (*enclave.Report, error) {
+	var out *enclave.Report
+	err := s.withRetry("attest", func(co *Conn) error {
+		r, err := co.Attest()
+		if err == nil {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// Spawn creates a function with retry. The session picks a random spawn
+// key, so a retry whose predecessor actually reached the server replays
+// the original tokens instead of leaking a second container.
+func (s *Session) Spawn(man *policy.Manifest) (*SessionFunction, error) {
+	key := newSpawnKey()
+	var fn *Function
+	err := s.withRetry("spawn", func(co *Conn) error {
+		f, err := co.SpawnKeyed(man, key)
+		if err == nil {
+			fn = f
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SessionFunction{
+		s:         s,
+		invokeTok: fn.InvokeToken(),
+		shutTok:   fn.ShutdownToken(),
+		report:    fn.report,
+	}, nil
+}
+
+// Attach binds to an already-running function via a shared invocation
+// token (reattachment after reconnect needs nothing else: the token is
+// the whole capability).
+func (s *Session) Attach(invokeToken string) *SessionFunction {
+	return &SessionFunction{s: s, invokeTok: invokeToken}
+}
+
+// SessionFunction is a function driven through a session: every operation
+// reattaches to the current connection by token, so it survives
+// reconnects and server-side restarts.
+type SessionFunction struct {
+	s         *Session
+	invokeTok string
+	shutTok   string
+	report    *enclave.Report
+}
+
+// InvokeToken returns the shareable invocation capability.
+func (f *SessionFunction) InvokeToken() string { return f.invokeTok }
+
+// ShutdownToken returns the exclusive shutdown capability (empty when
+// attached by invocation token).
+func (f *SessionFunction) ShutdownToken() string { return f.shutTok }
+
+// Upload sends function source with retry. Re-running the same source on
+// the same container is idempotent for the declarative top-level code
+// functions conventionally carry (def + constant assignments).
+func (f *SessionFunction) Upload(code string) error {
+	return f.s.withRetry("upload", func(co *Conn) error {
+		fun := &Function{conn: co, invokeTok: f.invokeTok, report: f.report}
+		return fun.Upload(code)
+	})
+}
+
+// Invoke calls the function with retry, returning the concatenated
+// api.send payloads and the return value. The payload buffer resets on
+// each attempt, so a retried invocation never duplicates output.
+func (f *SessionFunction) Invoke(fn string, args ...interp.Value) ([]byte, interp.Value, error) {
+	var out []byte
+	var result interp.Value
+	err := f.s.withRetry("invoke "+fn, func(co *Conn) error {
+		out = out[:0]
+		fun := &Function{conn: co, invokeTok: f.invokeTok}
+		res, err := fun.InvokeStream(fn, args, func(p []byte) {
+			out = append(out, p...)
+		})
+		if err == nil {
+			result = res
+		}
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, result, nil
+}
+
+// Shutdown terminates the function. Shutdown is at-least-once: when a
+// retry follows a transport failure, a "bad shutdown token" reply is
+// taken as evidence the lost first attempt already succeeded.
+func (f *SessionFunction) Shutdown() error {
+	if f.shutTok == "" {
+		return errors.New("bento: no shutdown token (attached via invocation token)")
+	}
+	sawTransport := false
+	return f.s.withRetry("shutdown", func(co *Conn) error {
+		err := co.ShutdownByToken(f.shutTok)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrTransport) {
+			sawTransport = true
+			return err
+		}
+		if sawTransport && strings.Contains(err.Error(), "bad shutdown token") {
+			return nil
+		}
+		return err
+	})
+}
+
+func newSpawnKey() string {
+	var b [16]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,224 @@
+package bento
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/policy"
+)
+
+// statefulFunction keeps its state in the container filesystem, so it
+// survives watchdog restarts; burn() crashes the interpreter by running
+// out of instruction budget.
+const statefulFunction = `
+def setup(content):
+    fs.write("content", content)
+    return 1
+
+def serve():
+    api.send(fs.read("content"))
+    return 1
+
+def burn():
+    while 1:
+        x = 1
+`
+
+// restartManifest asks for the watchdog and a small instruction budget so
+// burn() dies quickly.
+func restartManifest() *policy.Manifest {
+	m := basicManifest()
+	m.Instructions = 300_000
+	m.Restart = policy.RestartOnFailure
+	return m
+}
+
+func TestWatchdogRestartPreservesTokensAndState(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	cli := w.client(t, "alice", 300)
+	conn, err := cli.Connect(cli.Nodes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := conn.Spawn(restartManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+	if err := fn.Upload(statefulFunction); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fn.Invoke("setup", interp.Bytes("precious")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exhaust the instruction budget: the function dies, the watchdog
+	// revives it, and the client is told a retry will work.
+	_, _, err = fn.Invoke("burn")
+	if err == nil {
+		t.Fatal("burn() did not exhaust the budget")
+	}
+	if !errors.Is(err, ErrRestarted) {
+		t.Fatalf("budget death returned %v, want ErrRestarted", err)
+	}
+	if got := w.servers[0].FunctionRestarts(fn.InvokeToken()); got != 1 {
+		t.Fatalf("FunctionRestarts = %d, want 1", got)
+	}
+
+	// Same token, and the filesystem survived the restart.
+	out, _, err := fn.Invoke("serve")
+	if err != nil {
+		t.Fatalf("invoke after restart: %v", err)
+	}
+	if string(out) != "precious" {
+		t.Fatalf("state after restart = %q, want %q", out, "precious")
+	}
+	if w.servers[0].FunctionCount() != 1 {
+		t.Fatalf("FunctionCount = %d after restart, want 1", w.servers[0].FunctionCount())
+	}
+}
+
+func TestWatchdogRespectsNeverPolicy(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	cli := w.client(t, "alice", 301)
+	conn, err := cli.Connect(cli.Nodes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	man := restartManifest()
+	man.Restart = "" // default: never
+	fn, err := conn.Spawn(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+	if err := fn.Upload(statefulFunction); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fn.Invoke("burn"); err == nil || errors.Is(err, ErrRestarted) {
+		t.Fatalf("burn with Restart=never: %v, want plain error", err)
+	}
+	// The corpse stays dead: later invocations keep failing.
+	if _, _, err := fn.Invoke("serve"); err == nil {
+		t.Fatal("invoke succeeded on a dead, non-restartable function")
+	}
+	if got := w.servers[0].FunctionRestarts(fn.InvokeToken()); got != 0 {
+		t.Fatalf("FunctionRestarts = %d, want 0", got)
+	}
+}
+
+func TestKillFunctionWatchdogRevival(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	cli := w.client(t, "alice", 302)
+	sess := cli.NewSession(cli.Nodes()[0], SessionConfig{})
+	defer sess.Close()
+	fn, err := sess.Spawn(restartManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Upload(statefulFunction); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fn.Invoke("setup", interp.Bytes("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the function out from under the session (the chaos hook). The
+	// session's retry absorbs the ErrRestarted round trip entirely.
+	if !w.servers[0].KillFunction(fn.InvokeToken()) {
+		t.Fatal("KillFunction: unknown token")
+	}
+	out, _, err := fn.Invoke("serve")
+	if err != nil {
+		t.Fatalf("session invoke across kill: %v", err)
+	}
+	if string(out) != "v1" {
+		t.Fatalf("state across kill = %q, want %q", out, "v1")
+	}
+	if got := w.servers[0].FunctionRestarts(fn.InvokeToken()); got != 1 {
+		t.Fatalf("FunctionRestarts = %d, want 1", got)
+	}
+}
+
+func TestSpawnKeyIdempotent(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	cli := w.client(t, "alice", 303)
+	conn, err := cli.Connect(cli.Nodes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	f1, err := conn.SpawnKeyed(basicManifest(), "my-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Shutdown()
+	f2, err := conn.SpawnKeyed(basicManifest(), "my-key")
+	if err != nil {
+		t.Fatalf("replayed spawn: %v", err)
+	}
+	if f1.InvokeToken() != f2.InvokeToken() || f1.ShutdownToken() != f2.ShutdownToken() {
+		t.Fatal("spawn replay minted different tokens")
+	}
+	if w.servers[0].FunctionCount() != 1 {
+		t.Fatalf("FunctionCount = %d after replay, want 1", w.servers[0].FunctionCount())
+	}
+	// A different key spawns a distinct function.
+	f3, err := conn.SpawnKeyed(basicManifest(), "other-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Shutdown()
+	if f3.InvokeToken() == f1.InvokeToken() {
+		t.Fatal("distinct keys shared a token")
+	}
+	if w.servers[0].FunctionCount() != 2 {
+		t.Fatalf("FunctionCount = %d, want 2", w.servers[0].FunctionCount())
+	}
+}
+
+// TestSessionSurvivesNodeCrashRestart is the end-to-end robustness story:
+// the Bento node's host drops off the network mid-session and comes back,
+// and the session's retry loop plus token reattachment make the outage
+// invisible to the application.
+func TestSessionSurvivesNodeCrashRestart(t *testing.T) {
+	w := buildWorld(t, 5, 1)
+	ch := w.net.EnableChaos(42)
+	clock := w.net.Clock()
+	cli := w.client(t, "alice", 304)
+	sess := cli.NewSession(cli.Nodes()[0], SessionConfig{MaxAttempts: 10})
+	defer sess.Close()
+
+	fn, err := sess.Spawn(restartManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Upload(statefulFunction); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fn.Invoke("setup", interp.Bytes("durable")); err != nil {
+		t.Fatal(err)
+	}
+
+	// relay0 hosts the Bento server. Sever all its links, bring it back
+	// after a virtual second; the server process itself survives (the
+	// supervised-process model), so the function keeps its state.
+	ch.CrashHost("relay0")
+	go func() {
+		clock.Sleep(time.Second)
+		ch.RestartHost("relay0")
+	}()
+
+	out, _, err := fn.Invoke("serve")
+	if err != nil {
+		t.Fatalf("invoke across node crash/restart: %v", err)
+	}
+	if string(out) != "durable" {
+		t.Fatalf("state across crash = %q, want %q", out, "durable")
+	}
+}

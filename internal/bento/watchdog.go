@@ -1,0 +1,103 @@
+// The server-side restart watchdog. A function that dies — killed, out of
+// instruction budget, or over its memory limit — leaves a dead interpreter
+// behind: the kill flag and the spent budget are sticky, so every later
+// invocation would fail. When the function's manifest opts in via its
+// Restart policy, the server instead respawns the container (preserving
+// its private filesystem as a persistent volume), rebinds the host API,
+// re-runs the last uploaded code, and keeps both capability tokens valid.
+// Clients see a done frame with Restarted=true and may simply retry.
+package bento
+
+import (
+	"errors"
+
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/policy"
+	"github.com/bento-nfv/bento/internal/stemfw"
+)
+
+// maxRestarts caps watchdog revivals per function, bounding the work a
+// crash-looping function can extract from the node.
+const maxRestarts = 16
+
+// crashClass reports whether err killed the interpreter (as opposed to an
+// application-level error that leaves the machine healthy).
+func crashClass(err error) bool {
+	return errors.Is(err, interp.ErrKilled) ||
+		errors.Is(err, interp.ErrBudgetExceeded) ||
+		errors.Is(err, interp.ErrMemoryExceeded)
+}
+
+// maybeRestart applies the function's restart policy after a failed run.
+// It must be called with rf.runMu held. It returns true when the function
+// came back: a fresh container mounted on the old file store, API
+// rebound, last uploaded code re-run, tokens unchanged.
+func (s *Server) maybeRestart(rf *runningFunction, cause error) bool {
+	if !crashClass(cause) {
+		return false
+	}
+	switch rf.man.Restart {
+	case policy.RestartOnFailure, policy.RestartAlways:
+	default:
+		return false
+	}
+	rf.cmu.Lock()
+	gen := rf.restarts
+	code := rf.code
+	old := rf.container
+	rf.cmu.Unlock()
+	if gen >= maxRestarts {
+		return false
+	}
+	container, err := s.sup.Respawn(old.ID(), rf.man)
+	if err != nil {
+		return false
+	}
+	var stem *stemfw.Session
+	if s.fw != nil {
+		stem = s.fw.NewSession(container.ID(), rf.man.Calls)
+	}
+	rf.cmu.Lock()
+	oldStem := rf.stem
+	rf.container = container
+	rf.stem = stem
+	rf.restarts = gen + 1
+	rf.cmu.Unlock()
+	if oldStem != nil {
+		oldStem.Close()
+	}
+	s.bindAPI(rf)
+	if code != "" {
+		if err := container.Run(code); err != nil {
+			// The code itself dies on a fresh machine; reviving again
+			// would loop. Leave the corpse for the next policy decision.
+			return false
+		}
+	}
+	return true
+}
+
+// KillFunction aborts the function holding the given invocation token as
+// though it crashed mid-run — the fault-injection hook chaos experiments
+// use. With a restart policy in the manifest, the watchdog revives it on
+// the next invocation. Returns false for an unknown token.
+func (s *Server) KillFunction(invokeTok string) bool {
+	rf := s.lookup(invokeTok)
+	if rf == nil {
+		return false
+	}
+	rf.ctr().Kill()
+	return true
+}
+
+// FunctionRestarts reports how many times the watchdog has revived the
+// function holding the given invocation token.
+func (s *Server) FunctionRestarts(invokeTok string) int {
+	rf := s.lookup(invokeTok)
+	if rf == nil {
+		return 0
+	}
+	rf.cmu.Lock()
+	defer rf.cmu.Unlock()
+	return rf.restarts
+}

@@ -167,6 +167,23 @@ func (c *Consensus) BentoNodes(calls ...string) []*Descriptor {
 	return out
 }
 
+// Exclude returns a view of the consensus without the relays whose
+// fingerprints appear in skip. The view shares descriptors with the
+// original and carries no signature — it is for local path selection
+// (e.g. routing around recently-failed relays), not redistribution.
+func (c *Consensus) Exclude(skip map[string]bool) *Consensus {
+	if len(skip) == 0 {
+		return c
+	}
+	out := &Consensus{Relays: make([]*Descriptor, 0, len(c.Relays))}
+	for _, d := range c.Relays {
+		if !skip[d.Fingerprint()] {
+			out.Relays = append(out.Relays, d)
+		}
+	}
+	return out
+}
+
 // PickPath selects a guard, middle, and exit for a 3-hop circuit toward
 // destHost:destPort, using rng for reproducible experiments. The three
 // relays are distinct. Exit selection honors exit policies.

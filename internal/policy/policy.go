@@ -210,7 +210,20 @@ type Manifest struct {
 	Memory       int64    `json:"memory"`
 	Instructions int64    `json:"instructions"`
 	Storage      int64    `json:"storage"`
+	// Restart is the function's restart policy, applied by the server's
+	// watchdog when the function dies (killed, instruction budget, or
+	// memory limit): RestartNever (default), RestartOnFailure, or
+	// RestartAlways. Restarts preserve the container's private filesystem
+	// and both capability tokens.
+	Restart string `json:"restart,omitempty"`
 }
+
+// Restart policies a manifest may request.
+const (
+	RestartNever     = "never"
+	RestartOnFailure = "on-failure"
+	RestartAlways    = "always"
+)
 
 // Check verifies that the manifest's requests are a subset of what the
 // middlebox policy permits. It returns nil if the function may run.
@@ -234,6 +247,11 @@ func Check(m *Middlebox, man *Manifest) error {
 	}
 	if man.Storage > m.MaxStorage {
 		return fmt.Errorf("policy: requested storage %d exceeds limit %d", man.Storage, m.MaxStorage)
+	}
+	switch man.Restart {
+	case "", RestartNever, RestartOnFailure, RestartAlways:
+	default:
+		return fmt.Errorf("policy: unknown restart policy %q", man.Restart)
 	}
 	return nil
 }

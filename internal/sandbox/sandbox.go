@@ -133,6 +133,10 @@ type Config struct {
 	Platform *enclave.Platform
 	// Stdout receives the function's print() output.
 	Stdout io.Writer
+	// FS, when non-nil, mounts an existing file store instead of creating
+	// a fresh one — the persistent volume a restart watchdog carries
+	// across container generations.
+	FS FileStore
 }
 
 // Container is one sandboxed function execution environment.
@@ -200,7 +204,11 @@ func New(cfg Config) (*Container, error) {
 
 	switch cfg.Image {
 	case ImagePython:
-		c.fs = newPlainFS(storage)
+		if cfg.FS != nil {
+			c.fs = cfg.FS
+		} else {
+			c.fs = newPlainFS(storage)
+		}
 	case ImagePythonOPSGX:
 		if cfg.Platform == nil {
 			return nil, errors.New("sandbox: SGX image requires a platform")
@@ -209,13 +217,17 @@ func New(cfg Config) (*Container, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sandbox: launching enclave: %w", err)
 		}
-		fs, err := fsprotect.New(storage)
-		if err != nil {
-			e.Destroy()
-			return nil, err
+		if cfg.FS != nil {
+			c.fs = cfg.FS
+		} else {
+			fs, err := fsprotect.New(storage)
+			if err != nil {
+				e.Destroy()
+				return nil, err
+			}
+			c.fs = fs
 		}
 		c.encl = e
-		c.fs = fs
 	default:
 		return nil, fmt.Errorf("sandbox: unknown image %q", cfg.Image)
 	}
@@ -361,6 +373,38 @@ func (s *Supervisor) Spawn(manifest *policy.Manifest) (*Container, error) {
 		c.Close()
 		return nil, fmt.Errorf("%w: container limit %d reached", ErrPolicyViolation, s.policy.MaxContainers)
 	}
+	s.containers[c.ID()] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Respawn replaces the container with the given ID by a fresh one built
+// from the same manifest, remounting the old container's file store (a
+// persistent volume). The dead container's slot transfers to its
+// replacement, so Respawn never trips the MaxContainers ceiling. It is
+// the primitive under the Bento server's restart watchdog.
+func (s *Supervisor) Respawn(id string, manifest *policy.Manifest) (*Container, error) {
+	s.mu.Lock()
+	old := s.containers[id]
+	delete(s.containers, id)
+	s.mu.Unlock()
+	if old == nil {
+		return nil, fmt.Errorf("sandbox: no container %q to respawn", id)
+	}
+	fs := old.FS()
+	old.Close()
+	c, err := New(Config{
+		Manifest:   manifest,
+		Policy:     s.policy,
+		ExitPolicy: s.exitPolicy,
+		Platform:   s.platform,
+		Stdout:     s.stdout,
+		FS:         fs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	s.containers[c.ID()] = c
 	s.mu.Unlock()
 	return c, nil

@@ -54,6 +54,19 @@ func (c *Clock) After(d time.Duration) <-chan time.Time {
 	return time.After(c.real(d))
 }
 
+// AfterFunc schedules f to run after the given virtual duration.
+func (c *Clock) AfterFunc(d time.Duration, f func()) *time.Timer {
+	return time.AfterFunc(c.real(d), f)
+}
+
+// Virtual converts a wall-clock duration into virtual time — the inverse
+// of the mapping Sleep applies. Used to translate wall-clock deadlines
+// (e.g. net.Conn SetReadDeadline arguments) into the virtual domain so
+// all timeout arithmetic lives on one clock.
+func (c *Clock) Virtual(wall time.Duration) time.Duration {
+	return time.Duration(float64(wall) / c.scale)
+}
+
 // real converts a virtual duration into a wall-clock duration.
 func (c *Clock) real(d time.Duration) time.Duration {
 	rd := time.Duration(float64(d) * c.scale)

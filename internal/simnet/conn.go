@@ -3,6 +3,7 @@ package simnet
 import (
 	"bytes"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"sync"
@@ -29,6 +30,11 @@ type conn struct {
 	local      addr
 	remote     addr
 	peer       *conn
+
+	// chaosRng draws this endpoint's chunk-level faults under chaosMu;
+	// nil when chaos is disabled.
+	chaosMu  sync.Mutex
+	chaosRng *rand.Rand
 
 	out       chan chunk
 	closeOnce sync.Once
@@ -63,6 +69,12 @@ func newConnPair(client, server *Host, cport, sport int) (*conn, *conn) {
 	sv.cond = sync.NewCond(&sv.mu)
 	cl.peer = sv
 	sv.peer = cl
+	if ch := client.net.Chaos(); ch != nil {
+		cl.chaosRng = ch.connRng(client.name, server.name)
+		sv.chaosRng = ch.connRng(server.name, client.name)
+	}
+	client.registerConn(cl)
+	server.registerConn(sv)
 	go cl.transmit()
 	go sv.transmit()
 	return cl, sv
@@ -79,6 +91,13 @@ func (c *conn) transmit() {
 	deliver := func(ch chunk) {
 		if d := ch.at - clock.Now(); d > 0 {
 			clock.Sleep(d)
+		}
+		if chaos := c.localHost.net.Chaos(); chaos != nil {
+			// A partitioned link stalls delivery (TCP retransmits until
+			// the partition heals) rather than dropping bytes.
+			if !chaos.awaitLink(c.localHost.name, c.remoteHost.name, c.closed) {
+				return
+			}
 		}
 		c.peer.deliver(ch.data)
 	}
@@ -174,6 +193,17 @@ func (c *conn) Write(p []byte) (int, error) {
 		}
 		at := c.localHost.Clock().Now() +
 			c.localHost.net.Delay(c.localHost.name, c.remoteHost.name)
+		if chaos := c.localHost.net.Chaos(); chaos != nil && c.chaosRng != nil {
+			c.chaosMu.Lock()
+			extra, sever := chaos.chunkFaults(c.chaosRng, c.localHost.name, c.remoteHost.name)
+			c.chaosMu.Unlock()
+			if sever {
+				c.peer.Close()
+				c.Close()
+				return total, net.ErrClosed
+			}
+			at += extra
+		}
 		select {
 		case c.out <- chunk{data: data, at: at}:
 		case <-c.closed:
@@ -195,6 +225,7 @@ func (c *conn) Close() error {
 		c.mu.Lock()
 		c.cond.Broadcast()
 		c.mu.Unlock()
+		c.localHost.unregisterConn(c)
 	})
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,6 +12,9 @@ import (
 // them. All hosts share one virtual Clock.
 type Network struct {
 	clock *Clock
+	// chaos is the optional fault-injection controller (see EnableChaos);
+	// nil means a perfect network.
+	chaos atomic.Pointer[Chaos]
 
 	mu           sync.RWMutex
 	hosts        map[string]*Host
@@ -47,6 +51,7 @@ func (n *Network) AddHost(name string, egressRate float64) *Host {
 		name:      name,
 		egress:    NewTokenBucket(n.clock, egressRate, 64*1024),
 		listeners: make(map[int]*listener),
+		conns:     make(map[*conn]struct{}),
 	}
 	n.hosts[name] = h
 	return h
@@ -107,6 +112,7 @@ type Host struct {
 
 	mu        sync.Mutex
 	listeners map[int]*listener
+	conns     map[*conn]struct{} // live endpoints on this host, for Crash
 	nextPort  int
 }
 
@@ -152,6 +158,11 @@ func (h *Host) Dial(target string) (net.Conn, error) {
 	if remote == nil {
 		return nil, fmt.Errorf("simnet: no route to host %q", thost)
 	}
+	if ch := h.net.Chaos(); ch != nil {
+		if err := ch.dialErr(h.name, thost); err != nil {
+			return nil, err
+		}
+	}
 	remote.mu.Lock()
 	l, ok := remote.listeners[tport]
 	remote.mu.Unlock()
@@ -174,6 +185,35 @@ func (h *Host) Dial(target string) (net.Conn, error) {
 		cl.Close()
 		sv.Close()
 		return nil, fmt.Errorf("simnet: connection refused: %s", target)
+	}
+}
+
+// registerConn records a live endpoint for crash severing.
+func (h *Host) registerConn(c *conn) {
+	h.mu.Lock()
+	h.conns[c] = struct{}{}
+	h.mu.Unlock()
+}
+
+// unregisterConn forgets a closed endpoint.
+func (h *Host) unregisterConn(c *conn) {
+	h.mu.Lock()
+	delete(h.conns, c)
+	h.mu.Unlock()
+}
+
+// severAll abruptly closes every live connection touching the host (both
+// endpoints, so peers observe a hard failure rather than a graceful EOF).
+func (h *Host) severAll() {
+	h.mu.Lock()
+	conns := make([]*conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.peer.Close()
+		c.Close()
 	}
 }
 

@@ -196,6 +196,10 @@ func (w *World) Close() {
 // Clock returns the deployment's virtual clock.
 func (w *World) Clock() *simnet.Clock { return w.Net.Clock() }
 
+// EnableChaos attaches a seeded fault-injection controller to the
+// deployment's network. Call it at most once per deployment.
+func (w *World) EnableChaos(seed int64) *simnet.Chaos { return w.Net.EnableChaos(seed) }
+
 // NewTorClient adds a fresh client host and onion proxy.
 func (w *World) NewTorClient(name string, seed int64) *torclient.Client {
 	w.clientSeq++

@@ -12,11 +12,6 @@ import (
 	"github.com/bento-nfv/bento/internal/otr"
 )
 
-// ctrlTimeout bounds how long (wall-clock) we wait for a circuit-level
-// control response. It is deliberately generous: virtual time runs much
-// faster than wall time, so this only fires on genuine protocol failures.
-const ctrlTimeout = 30 * time.Second
-
 // ErrCircuitClosed is returned by operations on a closed circuit.
 var ErrCircuitClosed = errors.New("torclient: circuit closed")
 
@@ -56,6 +51,7 @@ type Circuit struct {
 	ctrl      chan ctrlMsg
 	closed    chan struct{}
 	closeOnce sync.Once
+	reason    error // why the circuit died; written before closed is closed
 }
 
 // BuildCircuit constructs a circuit along the given path, performing the
@@ -67,6 +63,7 @@ func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
 	}
 	conn, err := c.host.Dial(path[0].Address)
 	if err != nil {
+		c.MarkRelayBad(path[0].Fingerprint())
 		return nil, fmt.Errorf("torclient: dialing guard %s: %w", path[0].Nickname, err)
 	}
 	c.mu.Lock()
@@ -94,6 +91,7 @@ func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
 	created, err := cell.Read(conn)
 	if err != nil || created.Cmd != cell.CmdCreated {
 		conn.Close()
+		c.MarkRelayBad(path[0].Fingerprint())
 		return nil, fmt.Errorf("torclient: CREATE to %s failed", path[0].Nickname)
 	}
 	keys, err := hs.Finish(created.Payload[:otr.PublicKeyLen+otr.AuthLen])
@@ -121,6 +119,9 @@ func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
 
 	for _, hop := range path[1:] {
 		if err := circ.Extend(hop); err != nil {
+			// The hop we were extending toward is the prime suspect: the
+			// built prefix already proved itself by relaying the EXTEND.
+			c.MarkRelayBad(hop.Fingerprint())
 			circ.Close()
 			return nil, err
 		}
@@ -221,9 +222,17 @@ func (circ *Circuit) isClosed() bool {
 	}
 }
 
-// Close destroys the circuit.
-func (circ *Circuit) Close() error {
+// Close destroys the circuit (a deliberate local teardown; no hop is
+// blamed).
+func (circ *Circuit) Close() error { return circ.closeWithReason(nil) }
+
+// closeWithReason tears the circuit down, recording cause when the death
+// was abnormal. An abnormal death feeds every hop into the client's
+// avoid list — the client cannot tell which hop failed from its side of
+// the guard link, so all are briefly suspect.
+func (circ *Circuit) closeWithReason(cause error) error {
 	circ.closeOnce.Do(func() {
+		circ.reason = cause
 		close(circ.closed)
 		cell.Write(circ.conn, &cell.Cell{CircID: circ.circID, Cmd: cell.CmdDestroy})
 		circ.conn.Close()
@@ -236,26 +245,46 @@ func (circ *Circuit) Close() error {
 			circ.svc.streams = map[uint16]*Stream{}
 		}
 		circ.mu.Unlock()
+		streamErr := ErrCircuitClosed
+		if cause != nil {
+			streamErr = fmt.Errorf("%w: %v", ErrCircuitClosed, cause)
+			circ.client.noteCircuitFailure(circ)
+		}
 		for _, s := range streams {
-			s.closeWithError(ErrCircuitClosed)
+			s.closeWithError(streamErr)
 		}
 		for _, s := range svcStreams {
-			s.closeWithError(ErrCircuitClosed)
+			s.closeWithError(streamErr)
 		}
 	})
 	return nil
 }
 
+// Err reports why the circuit died: nil while it is alive or after a
+// clean local Close, non-nil after an abnormal death (DESTROY from a
+// relay, severed guard link, stalled control cell).
+func (circ *Circuit) Err() error {
+	if !circ.isClosed() {
+		return nil
+	}
+	return circ.reason
+}
+
 // dispatch reads cells from the guard link and routes them.
 func (circ *Circuit) dispatch() {
-	defer circ.Close()
 	for {
 		c, err := cell.Read(circ.conn)
 		if err != nil {
+			if circ.isClosed() {
+				circ.Close() // local teardown already won the race
+			} else {
+				circ.closeWithReason(fmt.Errorf("torclient: guard link lost: %v", err))
+			}
 			return
 		}
 		switch c.Cmd {
 		case cell.CmdDestroy:
+			circ.closeWithReason(errors.New("torclient: circuit destroyed by relay"))
 			return
 		case cell.CmdRelay:
 			circ.handleRelay(c)
@@ -334,9 +363,11 @@ func (circ *Circuit) handleRelay(c *cell.Cell) {
 	}
 }
 
-// awaitCtrl waits for a control message with the given relay command.
+// awaitCtrl waits for a control message with the given relay command. The
+// wait is bounded in virtual time (Client.CtrlTimeout) so detection of a
+// stalled circuit scales with the emulation rather than the wall clock.
 func (circ *Circuit) awaitCtrl(cmd cell.RelayCommand) (ctrlMsg, error) {
-	deadline := time.After(ctrlTimeout)
+	deadline := circ.client.Clock().After(circ.client.CtrlTimeout())
 	for {
 		select {
 		case m := <-circ.ctrl:
@@ -352,7 +383,11 @@ func (circ *Circuit) awaitCtrl(cmd cell.RelayCommand) (ctrlMsg, error) {
 		case <-circ.closed:
 			return ctrlMsg{}, ErrCircuitClosed
 		case <-deadline:
-			return ctrlMsg{}, fmt.Errorf("torclient: timeout waiting for %v", cmd)
+			// A stalled control cell is as fatal as a DESTROY: kill the
+			// circuit so its hops land on the avoid list.
+			err := fmt.Errorf("torclient: timeout waiting for %v", cmd)
+			circ.closeWithReason(err)
+			return ctrlMsg{}, err
 		}
 	}
 }

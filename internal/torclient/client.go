@@ -19,9 +19,11 @@ type Client struct {
 	host      *simnet.Host
 	consensus *dirauth.Consensus
 
-	mu  sync.Mutex
-	rng *rand.Rand
-	tap TrafficTap
+	mu   sync.Mutex
+	rng  *rand.Rand
+	tap  TrafficTap
+	ctrl time.Duration            // virtual control-cell timeout
+	bad  map[string]time.Duration // relay fingerprint -> virtual expiry
 }
 
 // TrafficTap observes cells crossing the client–guard link. dir is +1 for
@@ -36,8 +38,31 @@ func New(host *simnet.Host, consensus *dirauth.Consensus, seed int64) *Client {
 		host:      host,
 		consensus: consensus,
 		rng:       rand.New(rand.NewSource(seed)),
+		ctrl:      DefaultCtrlTimeout,
+		bad:       make(map[string]time.Duration),
 	}
 }
+
+// SetCtrlTimeout overrides how long (in virtual time) the client waits
+// for circuit-level control responses before declaring the circuit
+// stalled. Lower it in fault-injection tests to speed up detection.
+func (c *Client) SetCtrlTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.ctrl = d
+	}
+}
+
+// CtrlTimeout reports the client's virtual control-cell timeout.
+func (c *Client) CtrlTimeout() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctrl
+}
+
+// Clock returns the virtual clock of the client's host.
+func (c *Client) Clock() *simnet.Clock { return c.host.Clock() }
 
 // Host returns the client's emulated host.
 func (c *Client) Host() *simnet.Host { return c.host }

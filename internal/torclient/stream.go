@@ -21,15 +21,21 @@ type Stream struct {
 	id      uint16
 	service bool // true when this is the HS side of a rendezvous session
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	buf      bytes.Buffer
-	eof      bool
-	err      error
-	deadline time.Time
-	ready    chan struct{} // closed on CONNECTED
-	readyErr error
-	once     sync.Once
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  bytes.Buffer
+	eof  bool
+	err  error
+	// Deadlines are stored as virtual instants so all timeout arithmetic
+	// lives on the simnet clock; SetReadDeadline/SetWriteDeadline convert
+	// their wall-clock arguments at call time.
+	rDeadline    time.Duration
+	hasRDeadline bool
+	wDeadline    time.Duration
+	hasWDeadline bool
+	ready        chan struct{} // closed on CONNECTED
+	readyErr     error
+	once         sync.Once
 }
 
 func newStream(circ *Circuit, id uint16, service bool) *Stream {
@@ -66,10 +72,16 @@ func (circ *Circuit) OpenStream(target string) (net.Conn, error) {
 		}
 		return s, nil
 	case <-circ.closed:
+		if cause := circ.Err(); cause != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCircuitClosed, cause)
+		}
 		return nil, ErrCircuitClosed
-	case <-time.After(ctrlTimeout):
-		circ.dropStream(id)
-		return nil, fmt.Errorf("torclient: timeout opening stream to %s", target)
+	case <-circ.client.Clock().After(circ.client.CtrlTimeout()):
+		// A BEGIN that never comes back means the circuit is stalled;
+		// tear it down so its hops are avoided on the rebuild.
+		err := fmt.Errorf("torclient: timeout opening stream to %s", target)
+		circ.closeWithReason(err)
+		return nil, err
 	}
 }
 
@@ -116,6 +128,7 @@ func (s *Stream) closeWithError(err error) {
 // the blocked read only; later reads proceed once the deadline is cleared
 // or extended, matching net.Conn semantics.
 func (s *Stream) Read(p []byte) (int, error) {
+	clock := s.circ.client.Clock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -128,17 +141,26 @@ func (s *Stream) Read(p []byte) (int, error) {
 		if s.eof {
 			return 0, io.EOF
 		}
-		if !s.deadline.IsZero() && !time.Now().Before(s.deadline) {
+		if s.hasRDeadline && clock.Now() >= s.rDeadline {
 			return 0, errStreamTimeout
 		}
 		s.cond.Wait()
 	}
 }
 
-// Write implements net.Conn, chunking into DATA cells.
+// Write implements net.Conn, chunking into DATA cells. The write deadline
+// is checked before each cell: a Write that straddles an expiring deadline
+// reports the bytes already sent alongside the timeout.
 func (s *Stream) Write(p []byte) (int, error) {
+	clock := s.circ.client.Clock()
 	total := 0
 	for len(p) > 0 {
+		s.mu.Lock()
+		expired := s.hasWDeadline && clock.Now() >= s.wDeadline
+		s.mu.Unlock()
+		if expired {
+			return total, errStreamTimeout
+		}
 		n := len(p)
 		if n > cell.MaxRelayData {
 			n = cell.MaxRelayData
@@ -185,21 +207,42 @@ func (s *Stream) LocalAddr() net.Addr {
 // RemoteAddr implements net.Conn.
 func (s *Stream) RemoteAddr() net.Addr { return streamAddr{"tor-stream"} }
 
-// SetDeadline implements net.Conn (reads only; writes are paced upstream).
-func (s *Stream) SetDeadline(t time.Time) error { return s.SetReadDeadline(t) }
+// SetDeadline implements net.Conn, covering both reads and writes.
+func (s *Stream) SetDeadline(t time.Time) error {
+	if err := s.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return s.SetWriteDeadline(t)
+}
+
+// virtualDeadline converts a wall-clock deadline into a virtual instant
+// on the simnet clock. Callers pass wall times (the net.Conn contract);
+// internally all waits live in the virtual domain.
+func (s *Stream) virtualDeadline(t time.Time) (time.Duration, time.Duration) {
+	clock := s.circ.client.Clock()
+	wall := time.Until(t)
+	if wall < 0 {
+		wall = 0
+	}
+	v := clock.Virtual(wall)
+	return clock.Now() + v, v
+}
 
 // SetReadDeadline implements net.Conn.
 func (s *Stream) SetReadDeadline(t time.Time) error {
+	clock := s.circ.client.Clock()
+	var wake time.Duration
 	s.mu.Lock()
-	s.deadline = t
+	if t.IsZero() {
+		s.hasRDeadline = false
+	} else {
+		s.hasRDeadline = true
+		s.rDeadline, wake = s.virtualDeadline(t)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	if !t.IsZero() {
-		d := time.Until(t)
-		if d < 0 {
-			d = 0
-		}
-		time.AfterFunc(d, func() {
+		clock.AfterFunc(wake, func() {
 			s.mu.Lock()
 			s.cond.Broadcast()
 			s.mu.Unlock()
@@ -208,8 +251,20 @@ func (s *Stream) SetReadDeadline(t time.Time) error {
 	return nil
 }
 
-// SetWriteDeadline implements net.Conn as a no-op.
-func (s *Stream) SetWriteDeadline(time.Time) error { return nil }
+// SetWriteDeadline implements net.Conn. Stream writes are paced by the
+// emulated egress link, so a deadline matters when chaos severs a path
+// mid-write; it is checked before each DATA cell.
+func (s *Stream) SetWriteDeadline(t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.IsZero() {
+		s.hasWDeadline = false
+		return nil
+	}
+	s.hasWDeadline = true
+	s.wDeadline, _ = s.virtualDeadline(t)
+	return nil
+}
 
 var errStreamTimeout = timeoutError{}
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build, the test suite, and the race detector
+# over the packages with the heaviest concurrency (the emulator and the
+# recovery layers above it).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race (simnet, torclient, bento)"
+go test -race -count=1 ./internal/simnet/ ./internal/torclient/ ./internal/bento/
+
+echo "All checks passed."
