@@ -8,9 +8,12 @@
 //	benchharness -exp figure5
 //
 // Experiments: table1, table2, figure5, chaos, scalability, ablations,
-// all. The chaos experiment measures throughput retained under injected
-// faults (link loss, a relay crash, a Bento node outage, a killed
-// function) relative to a fault-free baseline.
+// datapath, all. The chaos experiment measures throughput retained under
+// injected faults (link loss, a relay crash, a Bento node outage, a
+// killed function) relative to a fault-free baseline. The datapath
+// experiment measures steady-state cell throughput through a 3-hop
+// circuit and writes BENCH_datapath.json so the perf trajectory is
+// recorded across changes.
 package main
 
 import (
@@ -23,9 +26,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|scalability|ablations|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|scalability|ablations|datapath|all")
 	full := flag.Bool("full", false, "run paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	benchOut := flag.String("benchout", "BENCH_datapath.json", "path for the datapath experiment's machine-readable result")
 	flag.Parse()
 
 	ran := false
@@ -116,6 +120,25 @@ func main() {
 		return nil
 	})
 
+	run("datapath", func() error {
+		cfg := bench.DefaultDatapathConfig()
+		cfg.Seed = *seed
+		if *full {
+			cfg.Bytes = 32 << 20
+			cfg.MicroCells = 1_000_000
+		}
+		res, err := bench.RunDatapath(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if err := res.WriteJSONFile(*benchOut); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", *benchOut)
+		return nil
+	})
+
 	run("ablations", func() error {
 		sites, visits := 8, 4
 		paddings := []int{0, 256 * 1024, 1 << 20}
@@ -159,7 +182,7 @@ func main() {
 	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|scalability|ablations|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|scalability|ablations|datapath|all\n", *exp)
 		os.Exit(2)
 	}
 }

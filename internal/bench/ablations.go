@@ -276,7 +276,11 @@ func RunFairnessAblation(levels []int, seed int64) (*FairnessAblation, error) {
 	const fileSize = 512 * 1024
 	out := &FairnessAblation{}
 	for _, n := range levels {
-		clock := simnet.NewClock(0.005)
+		// Gentle clock scale: per-transfer fairness is measured in
+		// virtual time, and at aggressive scales the OS timer quantum
+		// (~1ms) on each token-bucket sleep turns into seconds of
+		// per-client virtual noise that swamps the Jain index.
+		clock := simnet.NewClock(0.05)
 		net := simnet.NewNetwork(clock, time.Millisecond)
 		server := net.AddHost("server", rate)
 		ln, err := server.Listen(80)
@@ -291,7 +295,17 @@ func RunFairnessAblation(levels []int, seed int64) (*FairnessAblation, error) {
 				}
 				go func() {
 					defer c.Close()
-					c.Write(make([]byte, fileSize))
+					// Serve in socket-sized chunks, as a real server
+					// would: each Write contends for the shared egress
+					// bucket, so chunk granularity is what lets the
+					// concurrent transfers interleave fairly rather
+					// than sprint a full burst at a time.
+					buf := make([]byte, 4*1024)
+					for sent := 0; sent < fileSize; sent += len(buf) {
+						if _, err := c.Write(buf); err != nil {
+							return
+						}
+					}
 				}()
 			}
 		}()
@@ -371,11 +385,15 @@ func RunMultipathAblation(levels []int, seed int64) (*MultipathAblation, error) 
 	out := &MultipathAblation{PageBytes: site.TotalSize()}
 	var baseline float64
 	for _, paths := range levels {
+		// Gentle clock scale: the speedup is a ratio of virtual times,
+		// and at aggressive scales the real CPU cost of running three
+		// concurrent circuits on few cores divides by the scale into
+		// virtual seconds, eating the parallelism being measured.
 		w, err := testbed.New(testbed.Config{
 			Relays:      10,
 			BentoNodes:  4,
 			Sites:       []*webfarm.Site{site},
-			ClockScale:  0.02,
+			ClockScale:  0.1,
 			RelayEgress: 200 * 1024,
 		})
 		if err != nil {

@@ -57,6 +57,7 @@ type Conn struct {
 	stream net.Conn
 	circ   *torclient.Circuit // nil when attached to an existing stream
 	mu     sync.Mutex
+	dec    *wire.Decoder // lazy; reuses one read buffer across round trips (guarded by mu)
 
 	policyMu     sync.Mutex
 	cachedPolicy *policy.Middlebox
@@ -141,9 +142,12 @@ func (co *Conn) roundTrip(req *request, onData func([]byte)) (*response, error) 
 	if err := wire.WriteJSON(co.stream, req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrTransport, err)
 	}
+	if co.dec == nil {
+		co.dec = wire.NewDecoder(co.stream)
+	}
 	for {
 		var resp response
-		if err := wire.ReadJSON(co.stream, &resp); err != nil {
+		if err := co.dec.Decode(&resp); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrTransport, err)
 		}
 		switch resp.Type {

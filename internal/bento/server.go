@@ -233,9 +233,10 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		return wire.WriteJSON(conn, r)
 	}
+	dec := wire.NewDecoder(conn) // reuse one read buffer across requests
 	for {
 		var req request
-		if err := wire.ReadJSON(conn, &req); err != nil {
+		if err := dec.Decode(&req); err != nil {
 			return
 		}
 		var err error

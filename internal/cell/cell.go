@@ -3,6 +3,13 @@
 // cells. The layout mirrors Tor's link protocol: a 4-byte circuit ID, a
 // 1-byte command, and a fixed 509-byte payload, with relay cells embedding
 // a recognized field, stream ID, rolling digest, length, and relay command.
+//
+// The package also provides the zero-copy datapath primitives: wire-frame
+// accessors (WireCircID, WirePayload, ReadWire) for operating on raw
+// Size-byte buffers in place, pooled frames and cells (GetWire/GetCell),
+// and the batched per-link writer (BatchWriter). Buffer ownership rules
+// are documented in pool.go and in DESIGN.md under "Datapath & buffer
+// ownership".
 package cell
 
 import (
@@ -121,40 +128,123 @@ type Cell struct {
 	Payload [PayloadLen]byte
 }
 
-// Marshal serializes the cell to its fixed wire form.
-func (c *Cell) Marshal() []byte {
-	buf := make([]byte, Size)
+// --- wire-level accessors ---------------------------------------------------
+//
+// The hot datapath operates directly on Size-byte wire buffers without
+// materializing Cell values: a relay reads a frame, decrypts the payload
+// region in place, rewrites the circuit ID, and forwards the same bytes.
+// These accessors define that layout in one place.
+
+// WireCircID reads the circuit ID of a wire frame.
+func WireCircID(buf []byte) uint32 { return binary.BigEndian.Uint32(buf[0:4]) }
+
+// SetWireCircID rewrites the circuit ID of a wire frame in place (the only
+// mutation a forwarding relay makes outside the payload region).
+func SetWireCircID(buf []byte, id uint32) { binary.BigEndian.PutUint32(buf[0:4], id) }
+
+// WireCmd reads the link command of a wire frame.
+func WireCmd(buf []byte) Command { return Command(buf[4]) }
+
+// SetWireCmd rewrites the link command of a wire frame in place.
+func SetWireCmd(buf []byte, cmd Command) { buf[4] = byte(cmd) }
+
+// WirePayload returns the payload region of a wire frame as a sub-slice
+// (aliasing buf, not a copy).
+func WirePayload(buf []byte) []byte { return buf[5:Size] }
+
+// ReadWire reads one wire frame into buf, which must be at least Size
+// bytes. It performs no allocation; buf is typically a per-connection
+// reused buffer or one drawn from GetWire.
+func ReadWire(r io.Reader, buf []byte) error {
+	_, err := io.ReadFull(r, buf[:Size])
+	return err
+}
+
+// --- struct codec -----------------------------------------------------------
+
+// EncodeInto serializes the cell into buf, which must be at least Size
+// bytes. It is the allocation-free form of Marshal.
+func (c *Cell) EncodeInto(buf []byte) {
 	binary.BigEndian.PutUint32(buf[0:4], c.CircID)
 	buf[4] = byte(c.Cmd)
-	copy(buf[5:], c.Payload[:])
+	copy(buf[5:Size], c.Payload[:])
+}
+
+// AppendWire appends the cell's wire form to buf and returns the extended
+// slice, for batching several cells into one write.
+func (c *Cell) AppendWire(buf []byte) []byte {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[0:4], c.CircID)
+	hdr[4] = byte(c.Cmd)
+	buf = append(buf, hdr[:]...)
+	return append(buf, c.Payload[:]...)
+}
+
+// WriteTo writes the cell to w through a pooled buffer in a single Write
+// call. It implements io.WriterTo.
+func (c *Cell) WriteTo(w io.Writer) (int64, error) {
+	buf := GetWire()
+	c.EncodeInto(buf[:])
+	n, err := w.Write(buf[:])
+	PutWire(buf)
+	return int64(n), err
+}
+
+// UnmarshalInto parses a wire frame into an existing Cell, copying the
+// payload but allocating nothing.
+func UnmarshalInto(c *Cell, buf []byte) error {
+	if len(buf) != Size {
+		return fmt.Errorf("cell: bad length %d, want %d", len(buf), Size)
+	}
+	c.CircID = binary.BigEndian.Uint32(buf[0:4])
+	c.Cmd = Command(buf[4])
+	copy(c.Payload[:], buf[5:])
+	return nil
+}
+
+// ReadInto reads one cell from r into an existing Cell without allocating.
+func ReadInto(r io.Reader, c *Cell) error {
+	buf := GetWire()
+	defer PutWire(buf)
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return err
+	}
+	return UnmarshalInto(c, buf[:])
+}
+
+// Marshal serializes the cell to a freshly allocated wire buffer. It is
+// the compatibility codec for tests and cold paths; hot paths use
+// EncodeInto/AppendWire with reused buffers.
+func (c *Cell) Marshal() []byte {
+	buf := make([]byte, Size)
+	c.EncodeInto(buf)
 	return buf
 }
 
-// Unmarshal parses a cell from exactly Size bytes.
+// Unmarshal parses a cell from exactly Size bytes into a fresh Cell
+// (compatibility codec; hot paths use UnmarshalInto or the Wire*
+// accessors).
 func Unmarshal(buf []byte) (*Cell, error) {
-	if len(buf) != Size {
-		return nil, fmt.Errorf("cell: bad length %d, want %d", len(buf), Size)
+	c := new(Cell)
+	if err := UnmarshalInto(c, buf); err != nil {
+		return nil, err
 	}
-	c := &Cell{
-		CircID: binary.BigEndian.Uint32(buf[0:4]),
-		Cmd:    Command(buf[4]),
-	}
-	copy(c.Payload[:], buf[5:])
 	return c, nil
 }
 
-// Read reads one cell from r.
+// Read reads one cell from r into a fresh Cell (compatibility codec; hot
+// paths use ReadInto or ReadWire with a reused buffer).
 func Read(r io.Reader) (*Cell, error) {
-	buf := make([]byte, Size)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	c := new(Cell)
+	if err := ReadInto(r, c); err != nil {
 		return nil, err
 	}
-	return Unmarshal(buf)
+	return c, nil
 }
 
-// Write writes one cell to w.
+// Write writes one cell to w in a single Write call without allocating.
 func Write(w io.Writer, c *Cell) error {
-	_, err := w.Write(c.Marshal())
+	_, err := c.WriteTo(w)
 	return err
 }
 
@@ -167,8 +257,9 @@ type RelayHeader struct {
 
 // PackRelay writes a relay header and data into payload (which must be
 // PayloadLen bytes). The recognized and digest fields are zeroed; the
-// digest is stamped later by the onion layer. Remaining payload bytes are
-// left as-is so callers may pre-fill them with padding.
+// digest is stamped later by the onion layer. Payload bytes past the data
+// are zeroed too, so a reused buffer never leaks a previous cell's
+// plaintext into the padding region.
 func PackRelay(payload []byte, hdr RelayHeader, data []byte) error {
 	if len(payload) != PayloadLen {
 		return fmt.Errorf("cell: bad payload length %d", len(payload))
@@ -184,6 +275,7 @@ func PackRelay(payload []byte, hdr RelayHeader, data []byte) error {
 	binary.BigEndian.PutUint16(payload[LengthOffset:], uint16(len(data)))
 	payload[RelayCmdOffset] = byte(hdr.Cmd)
 	copy(payload[RelayHeaderLen:], data)
+	clear(payload[RelayHeaderLen+len(data):])
 	return nil
 }
 

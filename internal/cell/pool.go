@@ -1,0 +1,51 @@
+package cell
+
+import "sync"
+
+// Pooled wire buffers and cells for the zero-copy datapath.
+//
+// Ownership rules (see DESIGN.md "Datapath & buffer ownership"):
+//
+//   - GetWire transfers ownership of a Size-byte buffer to the caller.
+//     The caller must either PutWire it exactly once when done, or keep
+//     it for the lifetime of a connection (long-lived per-link read
+//     buffers never return to the pool; that is fine).
+//   - A buffer handed to a writer (net.Conn.Write, linkWriter enqueue)
+//     may be reused the moment the call returns: writers copy or
+//     serialize synchronously and never retain the slice.
+//   - Payload sub-slices obtained via WirePayload / ParseRelay alias the
+//     frame. They are valid only until the frame buffer is reused —
+//     consumers that need the data past the current cell (stream
+//     delivery, async control handling) must copy it out first.
+//   - Never PutWire a buffer twice, and never touch one after PutWire.
+//
+// The pools are warm-path optimizations: after startup, steady-state
+// forwarding performs zero allocations.
+
+var wirePool = sync.Pool{
+	New: func() any { return new([Size]byte) },
+}
+
+// GetWire returns a Size-byte wire buffer from the pool.
+func GetWire() *[Size]byte { return wirePool.Get().(*[Size]byte) }
+
+// PutWire returns a buffer obtained from GetWire to the pool.
+func PutWire(buf *[Size]byte) { wirePool.Put(buf) }
+
+var cellPool = sync.Pool{
+	New: func() any { return new(Cell) },
+}
+
+// GetCell returns a zeroed Cell from the pool. Callers that fill only
+// part of the payload can rely on the rest being zero.
+func GetCell() *Cell {
+	c := cellPool.Get().(*Cell)
+	c.CircID = 0
+	c.Cmd = 0
+	clear(c.Payload[:])
+	return c
+}
+
+// PutCell returns a Cell obtained from GetCell to the pool. The caller
+// must not retain any reference to it (including payload sub-slices).
+func PutCell(c *Cell) { cellPool.Put(c) }

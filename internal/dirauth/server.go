@@ -56,9 +56,10 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	dec := wire.NewDecoder(conn) // reuse one read buffer across requests
 	for {
 		var req request
-		if err := wire.ReadJSON(conn, &req); err != nil {
+		if err := dec.Decode(&req); err != nil {
 			return
 		}
 		var resp response

@@ -433,7 +433,21 @@ func TestComposedManifestWithinDefaultPolicy(t *testing.T) {
 }
 
 func TestDropboxExpiry(t *testing.T) {
-	w := newWorld(t, 4, 1)
+	// This test races real RPC latency against a virtual TTL: at the
+	// default 2000x clock scale the 2000ms TTL is only 1ms of wall time
+	// between the put_ttl and get executions, which loses whenever a
+	// token-bucket or delivery sleep (~1ms timer granularity) lands on
+	// one of the legs in between. Run it at a gentler scale so the TTL
+	// budget is 20ms of wall time and the test is deterministic.
+	w, err := testbed.New(testbed.Config{
+		Relays:     4,
+		BentoNodes: 1,
+		ClockScale: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
 	cli := w.NewBentoClient("alice", 14)
 	conn, err := cli.Connect(w.BentoNode(0))
 	if err != nil {

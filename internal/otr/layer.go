@@ -14,14 +14,129 @@ import (
 // cells.
 const DigestLen = 4
 
+// digestState is one direction's rolling digest plus the scratch space
+// that keeps verification allocation-free on the hot path. The snapshot
+// and sum buffers live on the struct (heap-resident) so hash.Hash's
+// append-style APIs write into existing capacity instead of allocating.
+//
+// A digestState is not self-synchronizing: callers serialize access per
+// direction (the relay's forward state is owned by its single serveConn
+// goroutine; backward state is guarded by bwMu; the client serializes
+// under the circuit mutex).
+type digestState struct {
+	h    hash.Hash
+	snap []byte // rollback snapshot, reused across verify calls
+	sum  []byte // digest output buffer, reused across seal/verify calls
+	// poisoned marks a state whose rollback failed: its running digest no
+	// longer matches the peer's, so every future verification would be
+	// garbage. Fail closed instead of guessing.
+	poisoned bool
+}
+
+// binaryAppender matches encoding.BinaryAppender without requiring a
+// go.mod language-version bump; sha256 states implement it on modern
+// toolchains, and marshalInto falls back to MarshalBinary otherwise.
+type binaryAppender interface {
+	AppendBinary(b []byte) ([]byte, error)
+}
+
+func newDigestState(seed []byte) *digestState {
+	d := &digestState{
+		h:    sha256.New(),
+		snap: make([]byte, 0, 128),
+		sum:  make([]byte, 0, sha256.Size),
+	}
+	d.h.Write(seed)
+	return d
+}
+
+// snapshot saves the running digest state into the reused snapshot buffer.
+func (d *digestState) snapshot() error {
+	if ab, ok := d.h.(binaryAppender); ok {
+		snap, err := ab.AppendBinary(d.snap[:0])
+		if err != nil {
+			return err
+		}
+		d.snap = snap
+		return nil
+	}
+	m, ok := d.h.(encoding.BinaryMarshaler)
+	if !ok {
+		return fmt.Errorf("otr: digest state is not snapshottable")
+	}
+	snap, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	d.snap = append(d.snap[:0], snap...)
+	return nil
+}
+
+// restore rolls the running digest back to the last snapshot. A failed
+// restore poisons the state: the digest chain has diverged irrecoverably.
+func (d *digestState) restore() error {
+	u, ok := d.h.(encoding.BinaryUnmarshaler)
+	if !ok {
+		d.poisoned = true
+		return fmt.Errorf("otr: digest state is not restorable")
+	}
+	if err := u.UnmarshalBinary(d.snap); err != nil {
+		d.poisoned = true
+		return fmt.Errorf("otr: digest rollback failed: %w", err)
+	}
+	return nil
+}
+
+// seal stamps the next rolling digest into payload[off:off+DigestLen],
+// advancing the running state.
+func (d *digestState) seal(payload []byte, off int) {
+	for i := 0; i < DigestLen; i++ {
+		payload[off+i] = 0
+	}
+	d.h.Write(payload)
+	d.sum = d.h.Sum(d.sum[:0])
+	copy(payload[off:off+DigestLen], d.sum[:DigestLen])
+}
+
+// verify checks payload's digest against the running state. On success
+// the state advances; on failure it is rolled back so an unrecognized
+// cell can be forwarded without corrupting recognition of later cells.
+// It allocates nothing in the steady state.
+func (d *digestState) verify(payload []byte, off int) bool {
+	if d.poisoned {
+		return false
+	}
+	if err := d.snapshot(); err != nil {
+		// Cannot roll back without a snapshot: treat the cell as
+		// unrecognized without touching the running state.
+		return false
+	}
+	var got [DigestLen]byte
+	copy(got[:], payload[off:off+DigestLen])
+	for i := 0; i < DigestLen; i++ {
+		payload[off+i] = 0
+	}
+	d.h.Write(payload)
+	d.sum = d.h.Sum(d.sum[:0])
+	copy(payload[off:off+DigestLen], got[:]) // restore the wire bytes
+	if subtle.ConstantTimeCompare(d.sum[:DigestLen], got[:]) == 1 {
+		return true
+	}
+	// Not our cell: roll the running digest back. A failed rollback
+	// poisons the state (fail closed) rather than silently continuing
+	// with a diverged digest chain.
+	d.restore()
+	return false
+}
+
 // Layer holds one circuit hop's relay-crypto state: an AES-CTR keystream
 // and a running digest per direction. The client keeps one Layer per hop;
 // each relay keeps exactly one.
 type Layer struct {
 	fwd       cipher.Stream
 	bwd       cipher.Stream
-	fwdDigest hash.Hash
-	bwdDigest hash.Hash
+	fwdDigest *digestState
+	bwdDigest *digestState
 }
 
 // NewLayer builds a Layer from KeyMaterialLen bytes of handshake output.
@@ -40,15 +155,12 @@ func NewLayer(keys []byte) (*Layer, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Layer{
+	return &Layer{
 		fwd:       fwd,
 		bwd:       bwd,
-		fwdDigest: sha256.New(),
-		bwdDigest: sha256.New(),
-	}
-	l.fwdDigest.Write(df)
-	l.bwdDigest.Write(db)
-	return l, nil
+		fwdDigest: newDigestState(df),
+		bwdDigest: newDigestState(db),
+	}, nil
 }
 
 func ctrStream(key []byte) (cipher.Stream, error) {
@@ -70,55 +182,33 @@ func (l *Layer) ApplyBackward(p []byte) { l.bwd.XORKeyStream(p, p) }
 // SealForward stamps the forward rolling digest into
 // payload[off:off+DigestLen]. Call before onion-encrypting a cell destined
 // for this hop.
-func (l *Layer) SealForward(payload []byte, off int) { seal(l.fwdDigest, payload, off) }
+func (l *Layer) SealForward(payload []byte, off int) { l.fwdDigest.seal(payload, off) }
 
 // SealBackward stamps the backward rolling digest (relay side, for cells
 // traveling toward the client).
-func (l *Layer) SealBackward(payload []byte, off int) { seal(l.bwdDigest, payload, off) }
+func (l *Layer) SealBackward(payload []byte, off int) { l.bwdDigest.seal(payload, off) }
 
 // VerifyForward checks whether the decrypted payload's digest matches this
 // hop's forward running digest. On success the running digest advances; on
 // failure it is rolled back so an unrecognized cell can be forwarded
 // without corrupting state.
 func (l *Layer) VerifyForward(payload []byte, off int) bool {
-	return verify(l.fwdDigest, payload, off)
+	return l.fwdDigest.verify(payload, off)
 }
 
 // VerifyBackward is VerifyForward for the client side of the backward
 // direction.
 func (l *Layer) VerifyBackward(payload []byte, off int) bool {
-	return verify(l.bwdDigest, payload, off)
+	return l.bwdDigest.verify(payload, off)
 }
 
-func seal(h hash.Hash, payload []byte, off int) {
-	for i := 0; i < DigestLen; i++ {
-		payload[off+i] = 0
-	}
-	h.Write(payload)
-	sum := h.Sum(nil)
-	copy(payload[off:off+DigestLen], sum[:DigestLen])
-}
+// ForwardPoisoned reports whether the forward digest state failed a
+// rollback and can no longer recognize cells (the circuit should be torn
+// down).
+func (l *Layer) ForwardPoisoned() bool { return l.fwdDigest.poisoned }
 
-func verify(h hash.Hash, payload []byte, off int) bool {
-	snap, err := h.(encoding.BinaryMarshaler).MarshalBinary()
-	if err != nil {
-		return false
-	}
-	var got [DigestLen]byte
-	copy(got[:], payload[off:off+DigestLen])
-	for i := 0; i < DigestLen; i++ {
-		payload[off+i] = 0
-	}
-	h.Write(payload)
-	sum := h.Sum(nil)
-	copy(payload[off:off+DigestLen], got[:]) // restore the wire bytes
-	if subtle.ConstantTimeCompare(sum[:DigestLen], got[:]) == 1 {
-		return true
-	}
-	// Not our cell: roll the running digest back.
-	h.(encoding.BinaryUnmarshaler).UnmarshalBinary(snap)
-	return false
-}
+// BackwardPoisoned is ForwardPoisoned for the backward direction.
+func (l *Layer) BackwardPoisoned() bool { return l.bwdDigest.poisoned }
 
 // OnionEncrypt seals payload for hop target (0-based) and applies the
 // forward keystream of every layer from target down to the entry, producing

@@ -1,0 +1,191 @@
+package otr
+
+import (
+	"crypto/sha256"
+	"errors"
+	"hash"
+	"testing"
+)
+
+// failingRestoreHash wraps a real sha256 state but refuses to restore
+// snapshots, simulating a corrupted rollback blob.
+type failingRestoreHash struct {
+	hash.Hash
+	failRestore bool
+	restores    int
+}
+
+func (f *failingRestoreHash) AppendBinary(b []byte) ([]byte, error) {
+	if ab, ok := f.Hash.(interface {
+		AppendBinary(b []byte) ([]byte, error)
+	}); ok {
+		return ab.AppendBinary(b)
+	}
+	m := f.Hash.(interface{ MarshalBinary() ([]byte, error) })
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(b, blob...), nil
+}
+
+func (f *failingRestoreHash) UnmarshalBinary(data []byte) error {
+	f.restores++
+	if f.failRestore {
+		return errors.New("synthetic rollback corruption")
+	}
+	return f.Hash.(interface{ UnmarshalBinary([]byte) error }).UnmarshalBinary(data)
+}
+
+// TestVerifyFailedRollbackPoisonsState locks in the fail-closed behavior:
+// when rolling the running digest back after an unrecognized cell fails,
+// the state must be marked poisoned and every later verification must
+// return false rather than guessing against a diverged digest chain.
+func TestVerifyFailedRollbackPoisonsState(t *testing.T) {
+	client, relays := buildCircuitLayers(t, 2)
+
+	fh := &failingRestoreHash{Hash: relays[0].fwdDigest.h, failRestore: true}
+	relays[0].fwdDigest.h = fh
+
+	// A cell addressed to hop 1 is unrecognized at hop 0, forcing a
+	// rollback — which now fails.
+	payload := make([]byte, testPayload)
+	OnionEncrypt(client, 1, payload, testDigestOff)
+	relays[0].ApplyForward(payload)
+	if relays[0].VerifyForward(payload, testDigestOff) {
+		t.Fatal("hop 0 recognized a cell for hop 1")
+	}
+	if fh.restores == 0 {
+		t.Fatal("rollback was never attempted")
+	}
+	if !relays[0].ForwardPoisoned() {
+		t.Fatal("failed rollback did not poison the digest state")
+	}
+
+	// Fail closed: even a genuinely addressed cell must now be rejected.
+	payload2 := make([]byte, testPayload)
+	OnionEncrypt(client, 0, payload2, testDigestOff)
+	relays[0].ApplyForward(payload2)
+	if relays[0].VerifyForward(payload2, testDigestOff) {
+		t.Fatal("poisoned state verified a cell")
+	}
+	if relays[0].BackwardPoisoned() {
+		t.Fatal("backward direction poisoned by a forward failure")
+	}
+}
+
+// TestVerifySuccessfulRollbackDoesNotPoison is the control: ordinary
+// unrecognized cells roll back cleanly and recognition keeps working.
+func TestVerifySuccessfulRollbackDoesNotPoison(t *testing.T) {
+	client, relays := buildCircuitLayers(t, 2)
+	fh := &failingRestoreHash{Hash: relays[0].fwdDigest.h}
+	relays[0].fwdDigest.h = fh
+
+	payload := make([]byte, testPayload)
+	OnionEncrypt(client, 1, payload, testDigestOff)
+	relays[0].ApplyForward(payload)
+	if relays[0].VerifyForward(payload, testDigestOff) {
+		t.Fatal("hop 0 recognized a cell for hop 1")
+	}
+	if relays[0].ForwardPoisoned() {
+		t.Fatal("clean rollback poisoned the state")
+	}
+
+	payload2 := make([]byte, testPayload)
+	OnionEncrypt(client, 0, payload2, testDigestOff)
+	relays[0].ApplyForward(payload2)
+	if !relays[0].VerifyForward(payload2, testDigestOff) {
+		t.Fatal("recognition broken after clean rollback")
+	}
+}
+
+// TestSealVerifyAllocFree locks in zero steady-state allocations for the
+// apply+verify hot path (the per-cell relay work) and for apply+seal (the
+// origin side).
+func TestSealVerifyAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	keys := make([]byte, KeyMaterialLen)
+	for i := range keys {
+		keys[i] = byte(i)
+	}
+	sender, _ := NewLayer(keys)
+	receiver, _ := NewLayer(keys)
+	payload := make([]byte, testPayload)
+
+	// Warm up pools and append buffers.
+	for i := 0; i < 4; i++ {
+		sender.SealForward(payload, testDigestOff)
+		sender.ApplyForward(payload)
+		receiver.ApplyForward(payload)
+		if !receiver.VerifyForward(payload, testDigestOff) {
+			t.Fatal("warmup cell not recognized")
+		}
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		sender.SealForward(payload, testDigestOff)
+		sender.ApplyForward(payload)
+		receiver.ApplyForward(payload)
+		if !receiver.VerifyForward(payload, testDigestOff) {
+			t.Fatal("cell not recognized")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("apply+seal+verify allocates %.1f times per cell, want 0", allocs)
+	}
+}
+
+// TestVerifyRejectAllocFree does the same for the forwarding (reject)
+// path, which snapshots and rolls back the digest every cell.
+func TestVerifyRejectAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	keys := make([]byte, KeyMaterialLen)
+	for i := range keys {
+		keys[i] = byte(i * 3)
+	}
+	l, _ := NewLayer(keys)
+	payload := make([]byte, testPayload)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	payload[testRecOff] = 0
+	payload[testRecOff+1] = 0
+
+	for i := 0; i < 4; i++ {
+		if l.VerifyForward(payload, testDigestOff) {
+			t.Fatal("garbage payload verified")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if l.VerifyForward(payload, testDigestOff) {
+			t.Fatal("garbage payload verified")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("verify-reject allocates %.1f times per cell, want 0", allocs)
+	}
+}
+
+// sanity: the real sha256 state used by layers must support the
+// snapshot/restore cycle the rollback depends on.
+func TestSha256SnapshotRoundTrip(t *testing.T) {
+	d := newDigestState([]byte("seed"))
+	if err := d.snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	d.h.Write([]byte("advance"))
+	if err := d.restore(); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	want := sha256.New()
+	want.Write([]byte("seed"))
+	want.Write([]byte("after"))
+	d.h.Write([]byte("after"))
+	if string(d.h.Sum(nil)) != string(want.Sum(nil)) {
+		t.Fatal("restored state diverged from fresh state")
+	}
+}

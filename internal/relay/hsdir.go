@@ -50,9 +50,10 @@ func (r *Relay) ServeHSDir() error {
 
 func (r *Relay) serveHSDirConn(conn net.Conn) {
 	defer conn.Close()
+	dec := wire.NewDecoder(conn) // reuse one read buffer across requests
 	for {
 		var req hsdirRequest
-		if err := wire.ReadJSON(conn, &req); err != nil {
+		if err := dec.Decode(&req); err != nil {
 			return
 		}
 		var resp hsdirResponse

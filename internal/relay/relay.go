@@ -173,22 +173,30 @@ func (r *Relay) acceptLoop() {
 type circuitEnd struct {
 	relay  *Relay
 	circID uint32
-	prev   net.Conn // toward the circuit origin
+	prevW  *cell.BatchWriter // batched writer toward the circuit origin
 	layer  *otr.Layer
 
-	// bwMu serializes backward-direction crypto and writes to prev:
-	// the rolling digest must advance in exactly write order.
+	// bwMu serializes backward-direction crypto and enqueues to prevW:
+	// the rolling digest must advance in exactly wire order, and the
+	// BatchWriter preserves enqueue order, so holding bwMu across
+	// seal/encrypt + enqueue keeps digest order equal to wire order.
 	bwMu sync.Mutex
+	// bwWire is the backward-direction scratch frame, guarded by bwMu.
+	// sendBackward packs, seals, and encrypts into it in place; the
+	// BatchWriter copies on enqueue, so the frame is reusable immediately.
+	bwWire []byte
 
 	mu         sync.Mutex
-	next       net.Conn // toward the next hop, nil at the last hop
+	nextW      *cell.BatchWriter // batched writer toward the next hop, nil at the last hop
 	nextCircID uint32
 	joined     *circuitEnd // rendezvous splice
 	streams    map[uint16]net.Conn
 	destroyed  bool
 }
 
-// serveConn handles one inbound link (= one circuit).
+// serveConn handles one inbound link (= one circuit). The read side runs
+// on a single reused wire buffer: each cell is decrypted in place and
+// either dispatched or forwarded without materializing a Cell value.
 func (r *Relay) serveConn(conn net.Conn) {
 	r.mu.Lock()
 	r.conns[conn] = struct{}{}
@@ -200,15 +208,18 @@ func (r *Relay) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 
+	// Per-link read buffer, reused for every inbound cell on this circuit.
+	wire := make([]byte, cell.Size)
+
 	// First cell must be CREATE.
-	c, err := cell.Read(conn)
-	if err != nil {
+	if err := cell.ReadWire(conn, wire); err != nil {
 		return
 	}
-	if c.Cmd != cell.CmdCreate {
+	if cell.WireCmd(wire) != cell.CmdCreate {
 		return
 	}
-	reply, keys, err := otr.ServerHandshake([]byte(r.Fingerprint()), r.onion, c.Payload[:otr.PublicKeyLen])
+	circID := cell.WireCircID(wire)
+	reply, keys, err := otr.ServerHandshake([]byte(r.Fingerprint()), r.onion, cell.WirePayload(wire)[:otr.PublicKeyLen])
 	if err != nil {
 		r.logf("handshake failed: %v", err)
 		return
@@ -217,29 +228,31 @@ func (r *Relay) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	created := &cell.Cell{CircID: c.CircID, Cmd: cell.CmdCreated}
+	prevW := cell.NewBatchWriter(conn)
+	defer prevW.Close()
+	created := &cell.Cell{CircID: circID, Cmd: cell.CmdCreated}
 	copy(created.Payload[:], reply)
-	if err := cell.Write(conn, created); err != nil {
+	if err := prevW.WriteCell(created); err != nil {
 		return
 	}
 
 	ce := &circuitEnd{
 		relay:   r,
-		circID:  c.CircID,
-		prev:    conn,
+		circID:  circID,
+		prevW:   prevW,
 		layer:   layer,
+		bwWire:  make([]byte, cell.Size),
 		streams: make(map[uint16]net.Conn),
 	}
 	defer ce.teardown()
 
 	for {
-		c, err := cell.Read(conn)
-		if err != nil {
+		if err := cell.ReadWire(conn, wire); err != nil {
 			return
 		}
-		switch c.Cmd {
+		switch cell.WireCmd(wire) {
 		case cell.CmdRelay:
-			if !r.handleRelay(ce, c) {
+			if !r.handleRelay(ce, wire) {
 				return
 			}
 		case cell.CmdDestroy:
@@ -247,16 +260,22 @@ func (r *Relay) serveConn(conn net.Conn) {
 		case cell.CmdPadding:
 			// Link padding: discard.
 		default:
-			r.logf("unexpected cell %v mid-circuit", c.Cmd)
+			r.logf("unexpected cell %v mid-circuit", cell.WireCmd(wire))
 			return
 		}
 	}
 }
 
-// handleRelay processes one forward relay cell. It returns false when the
-// circuit should be torn down.
-func (r *Relay) handleRelay(ce *circuitEnd, c *cell.Cell) bool {
-	payload := c.Payload[:]
+// handleRelay processes one forward relay cell arriving in wire (a whole
+// frame owned by the caller until this returns). It returns false when
+// the circuit should be torn down.
+//
+// The hot forwarding path touches the frame in place: decrypt the payload
+// region, rewrite the circuit ID, enqueue the same bytes on the next
+// link's writer. No Cell value and no copy beyond the writer's batch
+// buffer.
+func (r *Relay) handleRelay(ce *circuitEnd, wire []byte) bool {
+	payload := cell.WirePayload(wire)
 	ce.layer.ApplyForward(payload)
 
 	if cell.Recognized(payload) && ce.layer.VerifyForward(payload, cell.DigestOffset) {
@@ -270,21 +289,17 @@ func (r *Relay) handleRelay(ce *circuitEnd, c *cell.Cell) bool {
 
 	// Not addressed to us: forward along the circuit.
 	ce.mu.Lock()
-	next, nextID := ce.next, ce.nextCircID
+	nextW, nextID := ce.nextW, ce.nextCircID
 	joined := ce.joined
 	ce.mu.Unlock()
 	switch {
-	case next != nil:
-		fwd := &cell.Cell{CircID: nextID, Cmd: cell.CmdRelay}
-		copy(fwd.Payload[:], payload)
-		if err := cell.Write(next, fwd); err != nil {
-			return false
-		}
-		return true
+	case nextW != nil:
+		cell.SetWireCircID(wire, nextID)
+		return nextW.WriteFrame(wire) == nil
 	case joined != nil:
 		// Rendezvous splice: the still-encrypted payload continues as a
 		// backward cell on the joined circuit.
-		return joined.relayBackwardRaw(payload) == nil
+		return joined.relayBackwardFrame(wire) == nil
 	default:
 		r.logf("unrecognized relay cell at last hop, dropping circuit")
 		return false
@@ -327,7 +342,7 @@ func (r *Relay) handleExtend(ce *circuitEnd, hdr cell.RelayHeader, data []byte) 
 		return false
 	}
 	ce.mu.Lock()
-	already := ce.next != nil
+	already := ce.nextW != nil
 	ce.mu.Unlock()
 	if already {
 		r.logf("EXTEND on already-extended circuit")
@@ -341,19 +356,20 @@ func (r *Relay) handleExtend(ce *circuitEnd, hdr cell.RelayHeader, data []byte) 
 	var circID [4]byte
 	rand.Read(circID[:])
 	nextID := uint32(circID[0])<<24 | uint32(circID[1])<<16 | uint32(circID[2])<<8 | uint32(circID[3])
+	nextW := cell.NewBatchWriter(nextConn)
 	create := &cell.Cell{CircID: nextID, Cmd: cell.CmdCreate}
 	copy(create.Payload[:], ext.Handshake)
-	if err := cell.Write(nextConn, create); err != nil {
-		nextConn.Close()
+	if err := nextW.WriteCell(create); err != nil {
+		nextW.Close()
 		return false
 	}
-	reply, err := cell.Read(nextConn)
-	if err != nil || reply.Cmd != cell.CmdCreated {
-		nextConn.Close()
+	reply := new(cell.Cell)
+	if err := cell.ReadInto(nextConn, reply); err != nil || reply.Cmd != cell.CmdCreated {
+		nextW.Close()
 		return false
 	}
 	ce.mu.Lock()
-	ce.next = nextConn
+	ce.nextW = nextW
 	ce.nextCircID = nextID
 	ce.mu.Unlock()
 	go ce.backwardPump(nextConn)
@@ -368,17 +384,18 @@ func (r *Relay) handleExtend(ce *circuitEnd, hdr cell.RelayHeader, data []byte) 
 }
 
 // backwardPump forwards cells arriving from the next hop toward the
-// client, adding this hop's backward encryption layer.
+// client, adding this hop's backward encryption layer. Like the forward
+// direction it runs on a single reused wire buffer.
 func (ce *circuitEnd) backwardPump(next net.Conn) {
+	wire := make([]byte, cell.Size)
 	for {
-		c, err := cell.Read(next)
-		if err != nil {
+		if err := cell.ReadWire(next, wire); err != nil {
 			ce.destroyFromBehind()
 			return
 		}
-		switch c.Cmd {
+		switch cell.WireCmd(wire) {
 		case cell.CmdRelay:
-			if err := ce.relayBackwardRaw(c.Payload[:]); err != nil {
+			if err := ce.relayBackwardFrame(wire); err != nil {
 				return
 			}
 		case cell.CmdDestroy:
@@ -388,29 +405,34 @@ func (ce *circuitEnd) backwardPump(next net.Conn) {
 	}
 }
 
-// relayBackwardRaw applies this hop's backward keystream to an
-// already-formed relay payload and writes it toward the client.
-func (ce *circuitEnd) relayBackwardRaw(payload []byte) error {
+// relayBackwardFrame applies this hop's backward keystream to a whole
+// wire frame in place, restamps the circuit ID, and enqueues it toward
+// the client. The frame is the caller's buffer; the writer copies it on
+// enqueue, so the caller may reuse it as soon as this returns.
+func (ce *circuitEnd) relayBackwardFrame(wire []byte) error {
 	ce.bwMu.Lock()
 	defer ce.bwMu.Unlock()
-	c := &cell.Cell{CircID: ce.circID, Cmd: cell.CmdRelay}
-	copy(c.Payload[:], payload)
-	ce.layer.ApplyBackward(c.Payload[:])
-	return cell.Write(ce.prev, c)
+	ce.layer.ApplyBackward(cell.WirePayload(wire))
+	cell.SetWireCircID(wire, ce.circID)
+	cell.SetWireCmd(wire, cell.CmdRelay)
+	return ce.prevW.WriteFrame(wire)
 }
 
 // sendBackward originates a backward relay cell at this hop (responses,
-// exit stream data): seal with the backward digest, encrypt, send.
+// exit stream data): pack, seal with the backward digest, and encrypt in
+// the reused scratch frame, then enqueue a copy toward the client.
 func (ce *circuitEnd) sendBackward(hdr cell.RelayHeader, data []byte) error {
 	ce.bwMu.Lock()
 	defer ce.bwMu.Unlock()
-	c := &cell.Cell{CircID: ce.circID, Cmd: cell.CmdRelay}
-	if err := cell.PackRelay(c.Payload[:], hdr, data); err != nil {
+	payload := cell.WirePayload(ce.bwWire)
+	if err := cell.PackRelay(payload, hdr, data); err != nil {
 		return err
 	}
-	ce.layer.SealBackward(c.Payload[:], cell.DigestOffset)
-	ce.layer.ApplyBackward(c.Payload[:])
-	return cell.Write(ce.prev, c)
+	ce.layer.SealBackward(payload, cell.DigestOffset)
+	ce.layer.ApplyBackward(payload)
+	cell.SetWireCircID(ce.bwWire, ce.circID)
+	cell.SetWireCmd(ce.bwWire, cell.CmdRelay)
+	return ce.prevW.WriteFrame(ce.bwWire)
 }
 
 // handleBegin opens an exit stream, enforcing the exit policy. The special
@@ -601,7 +623,7 @@ func (ce *circuitEnd) teardown() {
 		return
 	}
 	ce.destroyed = true
-	next := ce.next
+	nextW := ce.nextW
 	joined := ce.joined
 	streams := ce.streams
 	ce.streams = map[uint16]net.Conn{}
@@ -610,9 +632,9 @@ func (ce *circuitEnd) teardown() {
 	for _, s := range streams {
 		s.Close()
 	}
-	if next != nil {
-		cell.Write(next, &cell.Cell{CircID: ce.nextCircID, Cmd: cell.CmdDestroy})
-		next.Close()
+	if nextW != nil {
+		nextW.WriteCell(&cell.Cell{CircID: ce.nextCircID, Cmd: cell.CmdDestroy})
+		nextW.Close() // flushes the DESTROY, then closes the link
 	}
 	if joined != nil {
 		joined.mu.Lock()
@@ -633,8 +655,8 @@ func (ce *circuitEnd) destroyFromBehind() {
 		return
 	}
 	ce.mu.Unlock()
-	cell.Write(ce.prev, &cell.Cell{CircID: ce.circID, Cmd: cell.CmdDestroy})
-	ce.prev.Close() // unblocks serveConn, which runs teardown
+	ce.prevW.WriteCell(&cell.Cell{CircID: ce.circID, Cmd: cell.CmdDestroy})
+	ce.prevW.Close() // flushes, then closes the link, unblocking serveConn
 }
 
 func (ce *circuitEnd) cleanupRelayMaps() {

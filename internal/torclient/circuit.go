@@ -35,13 +35,18 @@ type serviceState struct {
 type Circuit struct {
 	client *Client
 	conn   net.Conn
+	w      *cell.BatchWriter // batched writer over conn (guard link)
 	circID uint32
 	path   []*dirauth.Descriptor
 
 	// mu guards layer crypto state, conn writes, and stream bookkeeping.
 	// Crypto must advance in exactly wire order, so encryption and the
 	// write it precedes happen under one critical section.
-	mu         sync.Mutex
+	mu sync.Mutex
+	// sendWire is the reused outbound frame, guarded by mu: every relay
+	// cell is packed, sealed, and onion-encrypted in place here and put
+	// on the wire with a single conn.Write (which copies synchronously).
+	sendWire   []byte
 	layers     []*otr.Layer
 	streams    map[uint16]*Stream
 	nextStream uint16
@@ -106,14 +111,16 @@ func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
 	}
 
 	circ := &Circuit{
-		client:  c,
-		conn:    conn,
-		circID:  circID,
-		path:    path[:1],
-		layers:  []*otr.Layer{layer},
-		streams: make(map[uint16]*Stream),
-		ctrl:    make(chan ctrlMsg, 64),
-		closed:  make(chan struct{}),
+		client:   c,
+		conn:     conn,
+		w:        cell.NewBatchWriter(conn),
+		circID:   circID,
+		path:     path[:1],
+		sendWire: make([]byte, cell.Size),
+		layers:   []*otr.Layer{layer},
+		streams:  make(map[uint16]*Stream),
+		ctrl:     make(chan ctrlMsg, 64),
+		closed:   make(chan struct{}),
 	}
 	go circ.dispatch()
 
@@ -194,13 +201,15 @@ func (circ *Circuit) sendLocked(hdr cell.RelayHeader, data []byte) error {
 	if circ.isClosed() {
 		return ErrCircuitClosed
 	}
-	c := &cell.Cell{CircID: circ.circID, Cmd: cell.CmdRelay}
-	if err := cell.PackRelay(c.Payload[:], hdr, data); err != nil {
+	payload := cell.WirePayload(circ.sendWire)
+	if err := cell.PackRelay(payload, hdr, data); err != nil {
 		return err
 	}
 	target := len(circ.layers) - 1
-	otr.OnionEncrypt(circ.layers, target, c.Payload[:], cell.DigestOffset)
-	return cell.Write(circ.conn, c)
+	otr.OnionEncrypt(circ.layers, target, payload, cell.DigestOffset)
+	cell.SetWireCircID(circ.sendWire, circ.circID)
+	cell.SetWireCmd(circ.sendWire, cell.CmdRelay)
+	return circ.w.WriteFrame(circ.sendWire)
 }
 
 // SendDrop sends a long-range padding cell addressed to the last hop,
@@ -234,7 +243,8 @@ func (circ *Circuit) closeWithReason(cause error) error {
 	circ.closeOnce.Do(func() {
 		circ.reason = cause
 		close(circ.closed)
-		cell.Write(circ.conn, &cell.Cell{CircID: circ.circID, Cmd: cell.CmdDestroy})
+		circ.w.WriteCell(&cell.Cell{CircID: circ.circID, Cmd: cell.CmdDestroy})
+		circ.w.Close() // flushes the DESTROY, then closes the guard link
 		circ.conn.Close()
 		circ.mu.Lock()
 		streams := circ.streams
@@ -270,11 +280,15 @@ func (circ *Circuit) Err() error {
 	return circ.reason
 }
 
-// dispatch reads cells from the guard link and routes them.
+// dispatch reads cells from the guard link and routes them. It runs on a
+// single reused wire buffer: every consumer of cell data either copies
+// synchronously (stream delivery into a bytes.Buffer, control handlers)
+// or is handed an explicit copy (ctrl channel, INTRODUCE2 callback), so
+// the buffer is safe to reuse the moment handleRelay returns.
 func (circ *Circuit) dispatch() {
+	wire := make([]byte, cell.Size)
 	for {
-		c, err := cell.Read(circ.conn)
-		if err != nil {
+		if err := cell.ReadWire(circ.conn, wire); err != nil {
 			if circ.isClosed() {
 				circ.Close() // local teardown already won the race
 			} else {
@@ -282,24 +296,26 @@ func (circ *Circuit) dispatch() {
 			}
 			return
 		}
-		switch c.Cmd {
+		switch cell.WireCmd(wire) {
 		case cell.CmdDestroy:
 			circ.closeWithReason(errors.New("torclient: circuit destroyed by relay"))
 			return
 		case cell.CmdRelay:
-			circ.handleRelay(c)
+			circ.handleRelay(cell.WirePayload(wire))
 		}
 	}
 }
 
-func (circ *Circuit) handleRelay(c *cell.Cell) {
+// handleRelay routes one inbound relay payload (aliasing the dispatch
+// read buffer; valid only until return).
+func (circ *Circuit) handleRelay(payload []byte) {
 	circ.mu.Lock()
-	hop := otr.OnionDecrypt(circ.layers, c.Payload[:], cell.RecognizedOffset, cell.DigestOffset)
+	hop := otr.OnionDecrypt(circ.layers, payload, cell.RecognizedOffset, cell.DigestOffset)
 	if hop < 0 && circ.svc != nil {
 		// Possibly a cell at the service layer from a rendezvous client.
-		circ.svc.layer.ApplyForward(c.Payload[:])
-		if cell.Recognized(c.Payload[:]) && circ.svc.layer.VerifyForward(c.Payload[:], cell.DigestOffset) {
-			hdr, data, err := cell.ParseRelay(c.Payload[:])
+		circ.svc.layer.ApplyForward(payload)
+		if cell.Recognized(payload) && circ.svc.layer.VerifyForward(payload, cell.DigestOffset) {
+			hdr, data, err := cell.ParseRelay(payload)
 			circ.mu.Unlock()
 			if err == nil {
 				circ.handleServiceCell(hdr, data)
@@ -311,7 +327,7 @@ func (circ *Circuit) handleRelay(c *cell.Cell) {
 		circ.mu.Unlock()
 		return // garbled or stray cell; drop
 	}
-	hdr, data, err := cell.ParseRelay(c.Payload[:])
+	hdr, data, err := cell.ParseRelay(payload)
 	if err != nil {
 		circ.mu.Unlock()
 		return
@@ -408,7 +424,17 @@ type tappedConn struct {
 func (t *tappedConn) Write(p []byte) (int, error) {
 	n, err := t.Conn.Write(p)
 	if n > 0 {
-		t.tap(+1, n, t.clock.Now())
+		// The batched link writer coalesces whole cells into one Write;
+		// report each cell as its own event to keep the tap's documented
+		// per-cell granularity (traffic traces count cells, not batches).
+		now := t.clock.Now()
+		for off := 0; off < n; off += cell.Size {
+			sz := cell.Size
+			if n-off < sz {
+				sz = n - off
+			}
+			t.tap(+1, sz, now)
+		}
 	}
 	return n, err
 }

@@ -174,7 +174,7 @@ func (circ *Circuit) sendServiceCell(hdr cell.RelayHeader, data []byte) error {
 		circ.mu.Unlock()
 		return fmt.Errorf("torclient: no service layer attached")
 	}
-	payload := make([]byte, cell.PayloadLen)
+	payload := cell.WirePayload(circ.sendWire)
 	if err := cell.PackRelay(payload, hdr, data); err != nil {
 		circ.mu.Unlock()
 		return err
@@ -189,12 +189,12 @@ func (circ *Circuit) sendServiceCell(hdr cell.RelayHeader, data []byte) error {
 		circ.mu.Unlock()
 		return ErrCircuitClosed
 	}
-	c := &cell.Cell{CircID: circ.circID, Cmd: cell.CmdRelay}
-	copy(c.Payload[:], payload)
 	for i := len(circ.layers) - 1; i >= 0; i-- {
-		circ.layers[i].ApplyForward(c.Payload[:])
+		circ.layers[i].ApplyForward(payload)
 	}
-	err := cell.Write(circ.conn, c)
+	cell.SetWireCircID(circ.sendWire, circ.circID)
+	cell.SetWireCmd(circ.sendWire, cell.CmdRelay)
+	err := circ.w.WriteFrame(circ.sendWire)
 	circ.mu.Unlock()
 	return err
 }

@@ -30,7 +30,9 @@ func WriteJSON(w io.Writer, v any) error {
 	return err
 }
 
-// ReadJSON reads one framed message into v.
+// ReadJSON reads one framed message into v. It allocates a fresh body
+// buffer per call; loops that read many messages from one connection
+// should use a Decoder, which reuses its buffer across frames.
 func ReadJSON(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -42,6 +44,45 @@ func ReadJSON(r io.Reader, v any) error {
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads framed JSON messages from one reader, reusing a single
+// body buffer across frames. Intended for persistent-connection serve
+// loops, where per-frame allocation is pure garbage: the buffer grows to
+// the largest frame seen and stays there.
+//
+// A Decoder is not safe for concurrent use; json.Unmarshal copies every
+// byte it keeps, so the buffer's contents may be overwritten by the next
+// Decode without invalidating previously decoded values.
+type Decoder struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads the next framed message into v.
+func (d *Decoder) Decode(v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessage {
+		return fmt.Errorf("wire: oversized frame (%d bytes)", n)
+	}
+	if uint32(cap(d.buf)) < n {
+		d.buf = make([]byte, n)
+	}
+	body := d.buf[:n]
+	if _, err := io.ReadFull(d.r, body); err != nil {
 		return err
 	}
 	if err := json.Unmarshal(body, v); err != nil {

@@ -92,6 +92,56 @@ func TestUnmarshalableValueRejected(t *testing.T) {
 	}
 }
 
+func TestDecoderReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	big := bytes.Repeat([]byte{7}, 4096)
+	for i := 0; i < 8; i++ {
+		blob := big
+		if i%2 == 1 {
+			blob = []byte{byte(i)} // shrinking frames must not shrink the buffer
+		}
+		if err := WriteJSON(&buf, &msg{Count: i, Blob: blob}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	var first msg
+	if err := dec.Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	grown := cap(dec.buf)
+	if grown == 0 {
+		t.Fatal("decoder did not retain its buffer")
+	}
+	// Decoded values must survive later frames overwriting the buffer.
+	for i := 1; i < 8; i++ {
+		var got msg
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Count != i {
+			t.Fatalf("frame %d: got count %d", i, got.Count)
+		}
+	}
+	if cap(dec.buf) != grown {
+		t.Fatalf("buffer reallocated: cap %d -> %d", grown, cap(dec.buf))
+	}
+	if !bytes.Equal(first.Blob, big) {
+		t.Fatal("earlier decoded value corrupted by buffer reuse")
+	}
+}
+
+func TestDecoderOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessage+1)
+	buf.Write(hdr[:])
+	var got msg
+	if err := NewDecoder(&buf).Decode(&got); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
 // Property: any blob survives framing.
 func TestFramingProperty(t *testing.T) {
 	check := func(name string, blob []byte) bool {

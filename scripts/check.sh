@@ -6,6 +6,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go vet"
 go vet ./...
 
@@ -15,7 +23,10 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (simnet, torclient, bento)"
-go test -race -count=1 ./internal/simnet/ ./internal/torclient/ ./internal/bento/
+echo "==> go test -race (cell, simnet, torclient, bento)"
+go test -race -count=1 ./internal/cell/ ./internal/simnet/ ./internal/torclient/ ./internal/bento/
+
+echo "==> bench smoke (all benchmarks, 1 iteration)"
+go test -run='^$' -bench=. -benchtime=1x ./...
 
 echo "All checks passed."
