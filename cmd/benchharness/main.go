@@ -8,12 +8,15 @@
 //	benchharness -exp figure5
 //
 // Experiments: table1, table2, figure5, chaos, scalability, ablations,
-// datapath, all. The chaos experiment measures throughput retained under
-// injected faults (link loss, a relay crash, a Bento node outage, a
-// killed function) relative to a fault-free baseline. The datapath
+// datapath, obs, all. The chaos experiment measures throughput retained
+// under injected faults (link loss, a relay crash, a Bento node outage,
+// a killed function) relative to a fault-free baseline. The datapath
 // experiment measures steady-state cell throughput through a 3-hop
 // circuit and writes BENCH_datapath.json so the perf trajectory is
-// recorded across changes.
+// recorded across changes. The obs experiment ablates the telemetry
+// layer (instrumented vs nil-registry runs) and writes BENCH_obs.json;
+// -stats attaches a registry to the chaos experiment and dumps its
+// dashboard at exit.
 package main
 
 import (
@@ -23,14 +26,22 @@ import (
 	"time"
 
 	"github.com/bento-nfv/bento/internal/bench"
+	"github.com/bento-nfv/bento/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|scalability|ablations|datapath|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|scalability|ablations|datapath|obs|all")
 	full := flag.Bool("full", false, "run paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	benchOut := flag.String("benchout", "BENCH_datapath.json", "path for the datapath experiment's machine-readable result")
+	obsOut := flag.String("obsout", "BENCH_obs.json", "path for the observability ablation's machine-readable result")
+	stats := flag.Bool("stats", false, "attach a telemetry registry to the chaos experiment and dump its dashboard at exit")
 	flag.Parse()
+
+	var statsReg *obs.Registry
+	if *stats {
+		statsReg = obs.NewRegistry()
+	}
 
 	ran := false
 	run := func(name string, f func() error) {
@@ -98,6 +109,7 @@ func main() {
 	run("chaos", func() error {
 		cfg := bench.DefaultChaosConfig()
 		cfg.Seed = *seed
+		cfg.Obs = statsReg
 		if *full {
 			cfg.Clients = 12
 			cfg.Ops = 20
@@ -136,6 +148,29 @@ func main() {
 			return err
 		}
 		fmt.Printf("(wrote %s)\n", *benchOut)
+		return nil
+	})
+
+	run("obs", func() error {
+		cfg := bench.DefaultObsConfig()
+		cfg.Seed = *seed
+		if *full {
+			cfg.Bytes = 16 << 20
+			cfg.Rounds = 5
+			cfg.MicroCells = 1_000_000
+		}
+		res, reg, err := bench.RunObs(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if err := res.WriteJSONFile(*obsOut); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", *obsOut)
+		if *stats {
+			fmt.Println(reg.Snapshot().Dashboard())
+		}
 		return nil
 	})
 
@@ -182,7 +217,11 @@ func main() {
 	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|scalability|ablations|datapath|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|scalability|ablations|datapath|obs|all\n", *exp)
 		os.Exit(2)
+	}
+	if statsReg != nil {
+		fmt.Println("=== telemetry dashboard ===")
+		fmt.Println(statsReg.Snapshot().Dashboard())
 	}
 }

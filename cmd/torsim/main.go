@@ -1,10 +1,15 @@
 // Command torsim boots the emulated Tor overlay and runs a self-test:
 // it builds circuits, opens exit streams, exercises a hidden-service
-// rendezvous, and prints the resulting consensus and timing summary.
+// rendezvous and a Bento function round trip, and prints the resulting
+// consensus and timing summary. With -stats it attaches the telemetry
+// registry to the whole deployment and dumps the live dashboard —
+// per-component counters, latency histograms, and the slowest trace
+// spans — at exit.
 //
 // Usage:
 //
 //	torsim -relays 8 -scale 0.01
+//	torsim -stats
 package main
 
 import (
@@ -15,22 +20,33 @@ import (
 	"net"
 	"os"
 
+	"github.com/bento-nfv/bento/internal/bento"
 	"github.com/bento-nfv/bento/internal/hs"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/obs"
+	"github.com/bento-nfv/bento/internal/policy"
 	"github.com/bento-nfv/bento/internal/testbed"
 	"github.com/bento-nfv/bento/internal/webfarm"
 )
 
 func main() {
 	relays := flag.Int("relays", 8, "number of relays")
+	bentoNodes := flag.Int("bento", 2, "how many relays also run Bento servers")
 	scale := flag.Float64("scale", 0.005, "virtual clock scale (smaller = faster)")
+	stats := flag.Bool("stats", false, "attach telemetry and dump the live dashboard at exit")
 	flag.Parse()
 
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+	}
 	site := webfarm.NamedSite("selftest.web", 10_000, []int{20_000, 15_000})
 	w, err := testbed.New(testbed.Config{
 		Relays:     *relays,
-		BentoNodes: 0,
+		BentoNodes: *bentoNodes,
 		Sites:      []*webfarm.Site{site},
 		ClockScale: *scale,
+		Obs:        reg,
 	})
 	if err != nil {
 		fail("building overlay: %v", err)
@@ -98,7 +114,46 @@ func main() {
 	fmt.Printf("hidden service %s…: rendezvous echo OK in %v virtual\n",
 		svc.ServiceID()[:16], clock.Now()-t0)
 
+	// 3. Bento function round trip: spawn, upload, invoke.
+	if *bentoNodes > 0 {
+		bcli := w.NewBentoClient("selftest-bento", 3)
+		node := w.BentoNode(0)
+		if node == nil {
+			fail("no Bento node in consensus")
+		}
+		t0 = clock.Now()
+		sess := bcli.NewSession(node, bento.SessionConfig{})
+		fn, err := sess.Spawn(&policy.Manifest{
+			Name:         "selftest-fn",
+			Image:        "python",
+			Memory:       4 << 20,
+			Instructions: 1_000_000,
+		})
+		if err != nil {
+			fail("bento spawn on %s: %v", node.Nickname, err)
+		}
+		if err := fn.Upload("def ping(x):\n    return x + 1\n"); err != nil {
+			fail("bento upload: %v", err)
+		}
+		_, result, err := fn.Invoke("ping", interp.Int(41))
+		if err != nil {
+			fail("bento invoke: %v", err)
+		}
+		if got, ok := result.(interp.Int); !ok || got != 42 {
+			fail("bento invoke returned %v, want 42", result)
+		}
+		fn.Shutdown()
+		sess.Close()
+		fmt.Printf("bento function on %s: spawn+upload+invoke OK in %v virtual\n",
+			node.Nickname, clock.Now()-t0)
+	}
+
 	fmt.Println("\nself-test passed")
+
+	if reg != nil {
+		fmt.Println("\n=== telemetry dashboard ===")
+		fmt.Println(reg.Snapshot().Dashboard())
+	}
 }
 
 func fail(format string, args ...any) {

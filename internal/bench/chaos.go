@@ -10,6 +10,7 @@ import (
 	"github.com/bento-nfv/bento/internal/bento"
 	"github.com/bento-nfv/bento/internal/dirauth"
 	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/policy"
 	"github.com/bento-nfv/bento/internal/simnet"
 	"github.com/bento-nfv/bento/internal/testbed"
@@ -56,6 +57,10 @@ type ChaosConfig struct {
 
 	ClockScale float64
 	Seed       int64
+	// Obs, when non-nil, attaches live telemetry to both conditions'
+	// deployments, so the self-healing machinery's work shows up in
+	// counters (circuit deaths, heal retries, watchdog restarts).
+	Obs *obs.Registry
 }
 
 // DefaultChaosConfig is the quick configuration: three replicas, six
@@ -199,6 +204,7 @@ func runChaosWorkload(cfg ChaosConfig, faulted bool) (*ChaosRunStats, error) {
 		BentoNodes:  cfg.Replicas,
 		ClockScale:  cfg.ClockScale,
 		BentoEgress: cfg.ServeEgress,
+		Obs:         cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

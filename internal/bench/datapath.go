@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/bento-nfv/bento/internal/cell"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/otr"
 	"github.com/bento-nfv/bento/internal/testbed"
 )
@@ -30,6 +31,10 @@ type DatapathConfig struct {
 	// the emulation CPU-bound, so it runs with near-zero link delay.
 	ClockScale float64
 	Seed       int64
+	// Obs, when non-nil, attaches live telemetry to the end-to-end
+	// deployment (the observability ablation compares runs with and
+	// without it).
+	Obs *obs.Registry
 }
 
 // DefaultDatapathConfig returns the quick configuration.
@@ -126,6 +131,7 @@ func runDatapathE2E(cfg DatapathConfig, res *DatapathResult) error {
 		BentoNodes: 0,
 		ClockScale: cfg.ClockScale,
 		LinkDelay:  time.Microsecond,
+		Obs:        cfg.Obs,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/cell"
+	"github.com/bento-nfv/bento/internal/obs"
+)
+
+// ObsConfig sizes the observability ablation: the telemetry layer's
+// contract is that a fully instrumented deployment costs under 5% of
+// end-to-end throughput and zero allocations on the cell datapath, and
+// this experiment is the evidence. It runs the datapath workload twice —
+// against a nil registry (telemetry off: every handle is nil, every
+// update a no-op by construction) and against a live one — plus a
+// middle-hop microbenchmark pair isolating the per-cell counter cost.
+type ObsConfig struct {
+	// Bytes per direction of each end-to-end round.
+	Bytes int
+	// Rounds of each variant; variants alternate and the best round
+	// wins, suppressing scheduler noise.
+	Rounds int
+	// MicroCells is the number of cells per microbenchmark variant.
+	MicroCells int
+	ClockScale float64
+	Seed       int64
+}
+
+// DefaultObsConfig returns the quick configuration.
+func DefaultObsConfig() ObsConfig {
+	return ObsConfig{
+		Bytes:      4 << 20,
+		Rounds:     5,
+		MicroCells: 200_000,
+		ClockScale: 0.0002,
+		Seed:       1,
+	}
+}
+
+// ObsResult reports the instrumentation overhead. Overheads are
+// (baseline - instrumented) / baseline; negative values mean the
+// difference drowned in noise.
+type ObsResult struct {
+	BaselineMBPerSec     float64 `json:"baseline_mb_per_sec"`
+	InstrumentedMBPerSec float64 `json:"instrumented_mb_per_sec"`
+	E2EOverheadPct       float64 `json:"e2e_overhead_pct"`
+
+	MicroPlainCellsPerSec float64 `json:"micro_plain_cells_per_sec"`
+	MicroInstrCellsPerSec float64 `json:"micro_instr_cells_per_sec"`
+	MicroOverheadPct      float64 `json:"micro_overhead_pct"`
+
+	// Evidence that the instrumented variant really measured: counters
+	// from the live registry after its final round.
+	CellsForwarded int64 `json:"cells_forwarded"`
+	CellsSent      int64 `json:"cells_sent"`
+	ChunksSent     int64 `json:"chunks_sent"`
+	SpansRecorded  int64 `json:"spans_recorded"`
+
+	Bytes      int   `json:"bytes_per_direction"`
+	Rounds     int   `json:"rounds"`
+	MicroCells int   `json:"micro_cells"`
+	Seed       int64 `json:"seed"`
+}
+
+// String renders the result table.
+func (r *ObsResult) String() string {
+	var b strings.Builder
+	b.WriteString("Observability ablation: instrumented vs telemetry-off\n\n")
+	fmt.Fprintf(&b, "3-hop e2e, %d MB per direction, best of %d rounds each:\n", r.Bytes>>20, r.Rounds)
+	fmt.Fprintf(&b, "  telemetry off (nil registry): %7.2f MB/s\n", r.BaselineMBPerSec)
+	fmt.Fprintf(&b, "  fully instrumented:           %7.2f MB/s  (%+.1f%% overhead)\n",
+		r.InstrumentedMBPerSec, r.E2EOverheadPct)
+	fmt.Fprintf(&b, "\nmiddle-hop forward microbenchmark (%d cells):\n", r.MicroCells)
+	fmt.Fprintf(&b, "  plain loop:            %10.0f cells/s\n", r.MicroPlainCellsPerSec)
+	fmt.Fprintf(&b, "  with per-cell metrics: %10.0f cells/s  (%+.1f%% overhead)\n",
+		r.MicroInstrCellsPerSec, r.MicroOverheadPct)
+	fmt.Fprintf(&b, "\ninstrumented-run evidence: %d cells forwarded, %d cells sent, %d chunks, %d spans\n",
+		r.CellsForwarded, r.CellsSent, r.ChunksSent, r.SpansRecorded)
+	return b.String()
+}
+
+// WriteJSONFile records the result machine-readably.
+func (r *ObsResult) WriteJSONFile(path string) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// RunObs measures telemetry overhead end to end and in isolation. The
+// returned registry is the instrumented variant's, so callers can dump
+// its dashboard as a live sample.
+func RunObs(cfg ObsConfig) (*ObsResult, *obs.Registry, error) {
+	if cfg.Bytes < cell.MaxRelayData || cfg.Rounds < 1 || cfg.MicroCells < 1 {
+		return nil, nil, fmt.Errorf("bench: bad obs config %+v", cfg)
+	}
+	res := &ObsResult{
+		Bytes:      cfg.Bytes,
+		Rounds:     cfg.Rounds,
+		MicroCells: cfg.MicroCells,
+		Seed:       cfg.Seed,
+	}
+
+	// End to end: alternate variants so slow drift (thermal, other
+	// tenants) hits both equally; keep each variant's best round.
+	reg := obs.NewRegistry()
+	for round := 0; round < cfg.Rounds; round++ {
+		base, err := runObsE2ERound(cfg, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if base > res.BaselineMBPerSec {
+			res.BaselineMBPerSec = base
+		}
+		instr, err := runObsE2ERound(cfg, reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if instr > res.InstrumentedMBPerSec {
+			res.InstrumentedMBPerSec = instr
+		}
+	}
+	if res.BaselineMBPerSec > 0 {
+		res.E2EOverheadPct = (res.BaselineMBPerSec - res.InstrumentedMBPerSec) /
+			res.BaselineMBPerSec * 100
+	}
+
+	// Microbenchmark: the relay forwarding loop with and without the
+	// per-cell counter updates the live relay performs. Same alternating
+	// best-of discipline — the loop is ~30ns/cell, so run-to-run CPU
+	// noise dwarfs the counter cost in any single measurement.
+	for round := 0; round < cfg.Rounds; round++ {
+		if plain := runMicroPooled(cfg.MicroCells); plain > res.MicroPlainCellsPerSec {
+			res.MicroPlainCellsPerSec = plain
+		}
+		if instr := runMicroPooledObs(cfg.MicroCells, reg); instr > res.MicroInstrCellsPerSec {
+			res.MicroInstrCellsPerSec = instr
+		}
+	}
+	if res.MicroPlainCellsPerSec > 0 {
+		res.MicroOverheadPct = (res.MicroPlainCellsPerSec - res.MicroInstrCellsPerSec) /
+			res.MicroPlainCellsPerSec * 100
+	}
+
+	snap := reg.Snapshot()
+	res.CellsForwarded = snap.Counters["relay.cells_forwarded"]
+	res.CellsSent = snap.Counters["torclient.cells_sent"]
+	res.ChunksSent = snap.Counters["simnet.chunks_sent"]
+	res.SpansRecorded = int64(snap.Spans.Total)
+	return res, reg, nil
+}
+
+// runObsE2ERound runs one datapath e2e round against reg (nil = the
+// telemetry-off baseline) and returns the mean of the two directions'
+// throughputs.
+func runObsE2ERound(cfg ObsConfig, reg *obs.Registry) (float64, error) {
+	dcfg := DatapathConfig{
+		Bytes:      cfg.Bytes,
+		MicroCells: 1, // unused; runDatapathE2E only reads Bytes
+		ClockScale: cfg.ClockScale,
+		Seed:       cfg.Seed,
+		Obs:        reg,
+	}
+	var res DatapathResult
+	if err := runDatapathE2E(dcfg, &res); err != nil {
+		return 0, err
+	}
+	return (res.ForwardMBPerSec + res.BackwardMBPerSec) / 2, nil
+}
+
+// runMicroPooledObs is runMicroPooled with the live relay datapath's
+// telemetry: a counter bump per forwarded cell and a flush-size
+// histogram observation per batch, exactly what serveConn's path does.
+func runMicroPooledObs(cells int, reg *obs.Registry) float64 {
+	const batchCells = 64
+	fwd := reg.Counter("relay.cells_forwarded")
+	flush := reg.Histogram("relay.flush_cells", obs.BatchBuckets)
+	layer := microLayer()
+	src := &ringReader{frame: microFrame()}
+	wire := make([]byte, cell.Size)
+	batch := make([]byte, 0, batchCells*cell.Size)
+	start := time.Now()
+	for i := 0; i < cells; i++ {
+		if err := cell.ReadWire(src, wire); err != nil {
+			panic(err)
+		}
+		payload := cell.WirePayload(wire)
+		layer.ApplyForward(payload)
+		if cell.Recognized(payload) && layer.VerifyForward(payload, cell.DigestOffset) {
+			continue // not expected: frames are addressed further down
+		}
+		cell.SetWireCircID(wire, 9)
+		fwd.Inc()
+		batch = append(batch, wire...)
+		if len(batch) == cap(batch) {
+			flush.Observe(int64(len(batch) / cell.Size))
+			if _, err := io.Discard.Write(batch); err != nil {
+				panic(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		flush.Observe(int64(len(batch) / cell.Size))
+		io.Discard.Write(batch)
+	}
+	return float64(cells) / time.Since(start).Seconds()
+}

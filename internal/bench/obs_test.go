@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"github.com/bento-nfv/bento/internal/cell"
+	"github.com/bento-nfv/bento/internal/obs"
+)
+
+// TestInstrumentedMicroAllocFree is the regression smoke check.sh runs:
+// the relay forwarding inner loop with live telemetry (per-cell counter,
+// flush-size histogram) must stay at exactly zero allocations per cell,
+// same as the uninstrumented loop.
+func TestInstrumentedMicroAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	const batchCells = 64
+	reg := obs.NewRegistry()
+	fwd := reg.Counter("relay.cells_forwarded")
+	flush := reg.Histogram("relay.flush_cells", obs.BatchBuckets)
+	layer := microLayer()
+	src := &ringReader{frame: microFrame()}
+	wire := make([]byte, cell.Size)
+	batch := make([]byte, 0, batchCells*cell.Size)
+
+	cycle := func() {
+		if err := cell.ReadWire(src, wire); err != nil {
+			t.Fatal(err)
+		}
+		payload := cell.WirePayload(wire)
+		layer.ApplyForward(payload)
+		if cell.Recognized(payload) && layer.VerifyForward(payload, cell.DigestOffset) {
+			t.Fatal("unexpected recognition")
+		}
+		cell.SetWireCircID(wire, 9)
+		fwd.Inc()
+		batch = append(batch, wire...)
+		if len(batch) == cap(batch) {
+			flush.Observe(int64(len(batch) / cell.Size))
+			if _, err := io.Discard.Write(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	for i := 0; i < 2*batchCells; i++ {
+		cycle() // warm up
+	}
+	if allocs := testing.AllocsPerRun(500, cycle); allocs != 0 {
+		t.Fatalf("instrumented forward path allocates %.2f times per cell, want 0", allocs)
+	}
+	if fwd.Value() == 0 || flush.Count() == 0 {
+		t.Fatal("instrumentation recorded nothing")
+	}
+}
+
+// TestRunObsQuick exercises the ablation end to end at a tiny size so the
+// plumbing (shared registry across rounds, evidence counters, JSON shape)
+// stays covered by the normal test run. Overhead thresholds are enforced
+// by the full-size harness run, not here — a tiny run is all noise.
+func TestRunObsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("datapath e2e is CPU-bound")
+	}
+	cfg := ObsConfig{
+		Bytes:      1 << 20,
+		Rounds:     1,
+		MicroCells: 20_000,
+		ClockScale: 0.0002,
+		Seed:       1,
+	}
+	res, reg, err := RunObs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if res.BaselineMBPerSec <= 0 || res.InstrumentedMBPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", res)
+	}
+	if res.CellsForwarded == 0 {
+		t.Error("instrumented run forwarded no cells")
+	}
+	if res.CellsSent == 0 {
+		t.Error("instrumented run recorded no client cells")
+	}
+	if res.SpansRecorded == 0 {
+		t.Error("instrumented run recorded no spans")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["torclient.circuits_built"] == 0 {
+		t.Error("no circuit builds recorded")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/bento-nfv/bento/internal/enclave"
 	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/otr"
 	"github.com/bento-nfv/bento/internal/policy"
 	"github.com/bento-nfv/bento/internal/pow"
@@ -65,6 +66,8 @@ type Server struct {
 	fw      *stemfw.Firewall
 	ln      net.Listener
 	runtime *enclave.Enclave // the attested Bento execution environment
+	reg     *obs.Registry
+	om      serverMetrics
 
 	mu         sync.Mutex
 	functions  map[string]*runningFunction // invoke token -> fn
@@ -135,10 +138,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Host.Network().Obs()
 	s := &Server{
 		cfg:        cfg,
 		sup:        sandbox.NewSupervisor(cfg.Policy, cfg.ExitPolicy, cfg.Platform, cfg.Stdout),
 		ln:         ln,
+		reg:        reg,
+		om:         newServerMetrics(reg),
 		functions:  make(map[string]*runningFunction),
 		shutdowns:  make(map[string]*runningFunction),
 		spawnKeys:  make(map[string]*runningFunction),
@@ -360,6 +366,7 @@ func (s *Server) handleSpawn(req *request, send func(*response) error) error {
 		}
 	}
 	if err := s.checkSpawnPoW(req); err != nil {
+		s.om.spawnRejects.Inc()
 		return send(&response{Type: frameError, Error: err.Error()})
 	}
 	image := req.Image
@@ -370,8 +377,10 @@ func (s *Server) handleSpawn(req *request, send func(*response) error) error {
 	man.Image = image
 	container, err := s.sup.Spawn(&man)
 	if err != nil {
+		s.om.spawnRejects.Inc()
 		return send(&response{Type: frameError, Error: err.Error()})
 	}
+	s.om.spawns.Inc()
 
 	rf := &runningFunction{
 		container: container,
@@ -417,6 +426,7 @@ func (s *Server) handleSpawn(req *request, send func(*response) error) error {
 func (s *Server) bindAPI(rf *runningFunction) {
 	c := rf.ctr()
 	m := c.Machine()
+	m.SetObs(s.reg)
 
 	m.Bind("api", interp.NewObject("api", map[string]interp.BuiltinFn{
 		"send": c.Mediate("tor.send", func(args []interp.Value) (interp.Value, error) {
@@ -537,9 +547,12 @@ func (s *Server) handleUpload(req *request, send func(*response) error) error {
 	rf.runMu.Lock()
 	err := rf.ctr().Run(string(code))
 	if err == nil {
+		s.om.uploads.Inc()
 		rf.cmu.Lock()
 		rf.code = string(code)
 		rf.cmu.Unlock()
+	} else {
+		s.om.uploadFailures.Inc()
 	}
 	var restarted bool
 	if err != nil {
@@ -572,6 +585,10 @@ func (s *Server) handleInvoke(req *request, send func(*response) error) error {
 	})
 	result, err := rf.ctr().Call(req.Function, args...)
 	rf.setEmit(nil)
+	s.om.invokes.Inc()
+	if err != nil {
+		s.om.invokeErrors.Inc()
+	}
 	var restarted bool
 	if err != nil {
 		restarted = s.maybeRestart(rf, err)
@@ -605,6 +622,7 @@ func (s *Server) handleShutdown(req *request, send func(*response) error) error 
 		// The invocation token explicitly must NOT grant shutdown (§5.3).
 		return send(&response{Type: frameError, Error: "bad shutdown token"})
 	}
+	s.om.shutdowns.Inc()
 	s.teardown(rf)
 	return send(&response{Type: frameOK})
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/bento-nfv/bento/internal/dirauth"
 	"github.com/bento-nfv/bento/internal/enclave"
 	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/policy"
 )
 
@@ -128,11 +129,24 @@ func (s *Session) Close() error {
 // connection) with capped exponential backoff on the virtual clock.
 // Application errors are returned as-is; they would fail again.
 func (s *Session) withRetry(opName string, op func(*Conn) error) error {
+	reg := s.client.obsReg()
+	sp := reg.StartSpan("bento.op")
+	sp.Note(opName)
+	err := s.withRetryInner(reg, opName, op)
+	if err != nil {
+		sp.Fail(err)
+	}
+	sp.End()
+	return err
+}
+
+func (s *Session) withRetryInner(reg *obs.Registry, opName string, op func(*Conn) error) error {
 	clock := s.client.Tor.Clock()
 	backoff := s.cfg.BaseBackoff
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			reg.Counter("bento.session_retries").Inc()
 			clock.Sleep(backoff)
 			backoff = min(backoff*2, s.cfg.MaxBackoff)
 		}
@@ -156,8 +170,10 @@ func (s *Session) withRetry(opName string, op func(*Conn) error) error {
 		lastErr = err
 		switch {
 		case errors.Is(err, ErrTransport):
+			reg.Counter("bento.conn_invalidated").Inc()
 			s.invalidate(co)
 		case errors.Is(err, ErrRestarted):
+			reg.Counter("bento.restarts_observed").Inc()
 			// The server already revived the function; same connection,
 			// same token, just try again.
 		default:

@@ -74,6 +74,7 @@ func (s *Server) maybeRestart(rf *runningFunction, cause error) bool {
 			return false
 		}
 	}
+	s.om.watchdogRestarts.Inc()
 	return true
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"io"
 	"sync"
+
+	"github.com/bento-nfv/bento/internal/obs"
 )
 
 // ErrWriterClosed is returned by BatchWriter enqueues after Close.
@@ -39,6 +41,12 @@ const maxBatchCells = 256
 // immediately.
 type BatchWriter struct {
 	conn io.WriteCloser
+	// flushObs, when non-nil, records the size of every link write in
+	// cells. It is set at construction only (never mutated afterwards),
+	// so both the inline path and the flusher read it without locking;
+	// Observe is atomic and allocation-free, keeping the datapath's
+	// zero-alloc contract intact.
+	flushObs *obs.Histogram
 
 	mu       sync.Mutex
 	hasData  sync.Cond // flusher waits: pending non-empty and link idle, or closed/err
@@ -53,7 +61,15 @@ type BatchWriter struct {
 
 // NewBatchWriter starts a writer (and its flusher goroutine) over conn.
 func NewBatchWriter(conn io.WriteCloser) *BatchWriter {
-	w := &BatchWriter{conn: conn, done: make(chan struct{})}
+	return NewBatchWriterObs(conn, nil)
+}
+
+// NewBatchWriterObs is NewBatchWriter with a flush-size histogram
+// attached: every link write records its size in cells. A nil
+// histogram disables the observation (it is the no-op telemetry
+// sink), making this identical to NewBatchWriter.
+func NewBatchWriterObs(conn io.WriteCloser, flush *obs.Histogram) *BatchWriter {
+	w := &BatchWriter{conn: conn, flushObs: flush, done: make(chan struct{})}
 	w.hasData.L = &w.mu
 	w.hasSpace.L = &w.mu
 	go w.flushLoop()
@@ -109,6 +125,7 @@ func (w *BatchWriter) WriteCell(c *Cell) error {
 func (w *BatchWriter) writeInlineLocked(buf []byte) error {
 	w.writing = true
 	w.mu.Unlock()
+	w.flushObs.Observe(int64(len(buf) / Size))
 	_, err := w.conn.Write(buf)
 	w.mu.Lock()
 	w.spare = buf
@@ -173,6 +190,7 @@ func (w *BatchWriter) flushLoop() {
 		w.pending = w.spare[:0]
 		w.writing = true
 		w.mu.Unlock()
+		w.flushObs.Observe(int64(len(buf) / Size))
 		_, err := w.conn.Write(buf)
 		w.mu.Lock()
 		w.spare = buf

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/bento-nfv/bento/internal/obs"
 )
 
 // recordConn records everything written to it, optionally sleeping per
@@ -156,4 +158,44 @@ func TestBatchWriterWriteAfterClose(t *testing.T) {
 		t.Fatalf("WriteCell after Close: %v, want ErrWriterClosed", err)
 	}
 	w.Close() // idempotent
+}
+
+// TestBatchWriterFlushHistogram checks the telemetry hook: every link
+// write (inline or flusher-coalesced) records its size in cells, so the
+// histogram's sample count matches the conn's Write calls and its sum
+// matches the cells enqueued.
+func TestBatchWriterFlushHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("relay.flush_cells", obs.BatchBuckets)
+	conn := &recordConn{delay: 100 * time.Microsecond}
+	w := NewBatchWriterObs(conn, hist)
+
+	const n = 200
+	frame := make([]byte, Size)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				if err := w.WriteFrame(frame); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	w.Close()
+
+	_, writes, _ := conn.snapshot()
+	if got := hist.Count(); got != int64(writes) {
+		t.Errorf("histogram saw %d flushes, conn saw %d writes", got, writes)
+	}
+	if got := hist.Sum(); got != n {
+		t.Errorf("histogram cell sum = %d, want %d", got, n)
+	}
+	if writes >= n {
+		t.Logf("note: no coalescing occurred (%d writes for %d cells)", writes, n)
+	}
 }

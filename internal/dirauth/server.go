@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/simnet"
 	"github.com/bento-nfv/bento/internal/wire"
 )
@@ -27,6 +28,12 @@ type response struct {
 type Server struct {
 	auth *Authority
 	ln   net.Listener
+
+	// Server-side request counters, nil-safe when the network carries no
+	// telemetry. All authorities on one network share the same names.
+	publishes       *obs.Counter
+	publishRejects  *obs.Counter
+	consensusServes *obs.Counter
 }
 
 // Serve starts a directory server on the given host. It returns once the
@@ -36,7 +43,14 @@ func Serve(host *simnet.Host, auth *Authority) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{auth: auth, ln: ln}
+	reg := host.Network().Obs()
+	s := &Server{
+		auth:            auth,
+		ln:              ln,
+		publishes:       reg.Counter("dirauth.publishes"),
+		publishRejects:  reg.Counter("dirauth.publish_rejects"),
+		consensusServes: reg.Counter("dirauth.consensus_serves"),
+	}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -67,8 +81,10 @@ func (s *Server) handle(conn net.Conn) {
 		case "publish":
 			if err := s.auth.Publish(req.Descriptor); err != nil {
 				resp.Error = err.Error()
+				s.publishRejects.Inc()
 			} else {
 				resp.OK = true
+				s.publishes.Inc()
 			}
 		case "consensus":
 			c, err := s.auth.Consensus()
@@ -77,6 +93,7 @@ func (s *Server) handle(conn net.Conn) {
 			} else {
 				resp.OK = true
 				resp.Consensus = c
+				s.consensusServes.Inc()
 			}
 		default:
 			resp.Error = fmt.Sprintf("unknown op %q", req.Op)
@@ -111,6 +128,17 @@ func Publish(host *simnet.Host, dirAddr string, d *Descriptor) error {
 // FetchConsensus retrieves and verifies the consensus from dirAddr.
 // authority is the expected consensus-signing key.
 func FetchConsensus(host *simnet.Host, dirAddr string, authority ed25519.PublicKey) (*Consensus, error) {
+	reg := host.Network().Obs()
+	c, err := fetchConsensus(host, dirAddr, authority)
+	if err != nil {
+		reg.Counter("dirauth.consensus_fetch_failures").Inc()
+	} else {
+		reg.Counter("dirauth.consensus_fetches").Inc()
+	}
+	return c, err
+}
+
+func fetchConsensus(host *simnet.Host, dirAddr string, authority ed25519.PublicKey) (*Consensus, error) {
 	conn, err := host.Dial(dirAddr)
 	if err != nil {
 		return nil, fmt.Errorf("dirauth: dialing authority: %w", err)

@@ -22,6 +22,7 @@ import (
 
 	"github.com/bento-nfv/bento/internal/cell"
 	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/otr"
 	"github.com/bento-nfv/bento/internal/relay"
 	"github.com/bento-nfv/bento/internal/simnet"
@@ -177,6 +178,21 @@ func ResponsibleHSDirs(cons *dirauth.Consensus, serviceID string) []*dirauth.Des
 // PublishDescriptor signs (if needed) and uploads a descriptor to its
 // responsible HSDirs.
 func PublishDescriptor(host *simnet.Host, cons *dirauth.Consensus, d *Descriptor) error {
+	reg := host.Network().Obs()
+	sp := reg.StartSpan("hs.publish")
+	sp.Note(idNote(d.ServiceID))
+	err := publishDescriptor(host, cons, d)
+	if err != nil {
+		reg.Counter("hs.publish_failures").Inc()
+		sp.Fail(err)
+	} else {
+		reg.Counter("hs.descriptors_published").Inc()
+	}
+	sp.End()
+	return err
+}
+
+func publishDescriptor(host *simnet.Host, cons *dirauth.Consensus, d *Descriptor) error {
 	if err := d.Verify(); err != nil {
 		return fmt.Errorf("hs: refusing to publish unsigned descriptor: %w", err)
 	}
@@ -209,6 +225,21 @@ func PublishDescriptor(host *simnet.Host, cons *dirauth.Consensus, d *Descriptor
 // FetchDescriptor retrieves and verifies a service descriptor from the
 // responsible HSDirs.
 func FetchDescriptor(host *simnet.Host, cons *dirauth.Consensus, serviceID string) (*Descriptor, error) {
+	reg := host.Network().Obs()
+	sp := reg.StartSpan("hs.fetch")
+	sp.Note(idNote(serviceID))
+	d, err := fetchDescriptor(host, cons, serviceID)
+	if err != nil {
+		reg.Counter("hs.fetch_failures").Inc()
+		sp.Fail(err)
+	} else {
+		reg.Counter("hs.descriptor_fetches").Inc()
+	}
+	sp.End()
+	return d, err
+}
+
+func fetchDescriptor(host *simnet.Host, cons *dirauth.Consensus, serviceID string) (*Descriptor, error) {
 	dirs := ResponsibleHSDirs(cons, serviceID)
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("hs: no HSDir relays in consensus")
@@ -282,6 +313,20 @@ type Service struct {
 // Launch starts a hidden service: it builds introduction circuits,
 // registers on each intro point, and publishes the descriptor.
 func Launch(client *torclient.Client, ident *Identity, cfg ServiceConfig) (*Service, error) {
+	reg := client.Host().Network().Obs()
+	sp := reg.StartSpan("hs.launch")
+	sp.Note(idNote(ident.ServiceID()))
+	s, err := launch(client, ident, cfg)
+	if err != nil {
+		sp.Fail(err)
+	} else {
+		reg.Counter("hs.services_launched").Inc()
+	}
+	sp.End()
+	return s, err
+}
+
+func launch(client *torclient.Client, ident *Identity, cfg ServiceConfig) (*Service, error) {
 	if cfg.NumIntroPoints <= 0 {
 		cfg.NumIntroPoints = 3
 	}
@@ -341,13 +386,16 @@ func (s *Service) ServiceID() string { return s.ident.ServiceID() }
 func (s *Service) Identity() *Identity { return s.ident }
 
 func (s *Service) handleIntroduce2(data []byte) {
+	reg := s.client.Host().Network().Obs()
 	var intro cell.IntroducePlaintext
 	if err := cell.DecodeControl(data, &intro); err != nil {
 		return
 	}
+	reg.Counter("hs.introductions_received").Inc()
 	// DDoS defense: drop introductions lacking the demanded proof before
 	// committing a rendezvous circuit to the client.
 	if !VerifyPoW(s.ident.ServiceID(), intro.Cookie, intro.PoWNonce, s.cfg.PoWBits) {
+		reg.Counter("hs.pow_rejected").Inc()
 		return
 	}
 	if s.cfg.OnIntroduce != nil {
@@ -389,6 +437,20 @@ func (s *Service) Close() error {
 // received a copy of the identity and the introduction — the LoadBalancer
 // pattern — performs exactly this call.
 func RespondAtRendezvous(client *torclient.Client, ident *Identity, intro *cell.IntroducePlaintext, handler func(net.Conn)) (*torclient.Circuit, error) {
+	reg := client.Host().Network().Obs()
+	sp := reg.StartSpan("hs.rendezvous1")
+	sp.Note(intro.RendezvousNick)
+	circ, err := respondAtRendezvous(client, ident, intro, handler)
+	if err != nil {
+		sp.Fail(err)
+	} else {
+		reg.Counter("hs.rendezvous_responses").Inc()
+	}
+	sp.End()
+	return circ, err
+}
+
+func respondAtRendezvous(client *torclient.Client, ident *Identity, intro *cell.IntroducePlaintext, handler func(net.Conn)) (*torclient.Circuit, error) {
 	reply, keys, err := otr.ServerHandshake([]byte(ident.ServiceID()), ident.Onion, intro.Handshake)
 	if err != nil {
 		return nil, fmt.Errorf("hs: service handshake: %w", err)
@@ -444,6 +506,21 @@ type Session struct {
 // Connect performs the full client-side rendezvous flow: fetch descriptor,
 // set up a rendezvous point, introduce, complete the handshake.
 func Connect(client *torclient.Client, serviceID string) (*Session, error) {
+	reg := client.Host().Network().Obs()
+	sp := reg.StartSpan("hs.connect")
+	sp.Note(idNote(serviceID))
+	sess, err := connect(client, serviceID, &sp)
+	if err != nil {
+		reg.Counter("hs.connect_failures").Inc()
+		sp.Fail(err)
+	} else {
+		reg.Counter("hs.connects").Inc()
+	}
+	sp.End()
+	return sess, err
+}
+
+func connect(client *torclient.Client, serviceID string, sp *obs.SpanHandle) (*Session, error) {
 	cons := client.Consensus()
 	desc, err := FetchDescriptor(client.Host(), cons, serviceID)
 	if err != nil {
@@ -454,39 +531,56 @@ func Connect(client *torclient.Client, serviceID string) (*Session, error) {
 	}
 
 	// Establish a rendezvous point.
+	rendSpan := sp.Child("hs.establish_rendezvous")
 	rp := cons.Relays[client.Intn(len(cons.Relays))]
+	rendSpan.Note(rp.Nickname)
 	rendPath, err := threeHopEndingAt(client, cons, rp)
 	if err != nil {
+		rendSpan.Fail(err)
+		rendSpan.End()
 		return nil, err
 	}
 	rendCirc, err := client.BuildCircuit(rendPath)
 	if err != nil {
-		return nil, fmt.Errorf("hs: rendezvous circuit: %w", err)
+		err = fmt.Errorf("hs: rendezvous circuit: %w", err)
+		rendSpan.Fail(err)
+		rendSpan.End()
+		return nil, err
 	}
 	cookie := make([]byte, 20)
 	rand.Read(cookie)
 	if err := rendCirc.EstablishRendezvous(cookie); err != nil {
 		rendCirc.Close()
+		rendSpan.Fail(err)
+		rendSpan.End()
 		return nil, err
 	}
+	rendSpan.End()
 
 	// Introduce through one of the service's intro points.
+	introSpan := sp.Child("hs.introduce")
+	introFail := func(err error) error {
+		introSpan.Fail(err)
+		introSpan.End()
+		return err
+	}
 	ip := desc.IntroPoints[client.Intn(len(desc.IntroPoints))]
 	ipDesc := cons.Relay(ip.Nickname)
 	if ipDesc == nil {
 		rendCirc.Close()
-		return nil, fmt.Errorf("hs: intro point %q not in consensus", ip.Nickname)
+		return nil, introFail(fmt.Errorf("hs: intro point %q not in consensus", ip.Nickname))
 	}
+	introSpan.Note(ip.Nickname)
 	hsHandshake, msg, err := otr.NewClientHandshake([]byte(serviceID), desc.OnionKey)
 	if err != nil {
 		rendCirc.Close()
-		return nil, err
+		return nil, introFail(err)
 	}
 	// Pay the service's introduction price, if it demands one.
 	nonce, err := SolvePoW(serviceID, cookie, desc.PoWBits)
 	if err != nil {
 		rendCirc.Close()
-		return nil, err
+		return nil, introFail(err)
 	}
 	inner, err := cell.EncodeControl(&cell.IntroducePlaintext{
 		RendezvousAddr: rp.Address,
@@ -497,39 +591,49 @@ func Connect(client *torclient.Client, serviceID string) (*Session, error) {
 	})
 	if err != nil {
 		rendCirc.Close()
-		return nil, err
+		return nil, introFail(err)
 	}
 	introPath, err := threeHopEndingAt(client, cons, ipDesc)
 	if err != nil {
 		rendCirc.Close()
-		return nil, err
+		return nil, introFail(err)
 	}
 	introCirc, err := client.BuildCircuit(introPath)
 	if err != nil {
 		rendCirc.Close()
-		return nil, fmt.Errorf("hs: introduction circuit: %w", err)
+		return nil, introFail(fmt.Errorf("hs: introduction circuit: %w", err))
 	}
 	err = introCirc.SendIntroduce1(serviceID, inner)
 	introCirc.Close() // single-use
 	if err != nil {
 		rendCirc.Close()
-		return nil, fmt.Errorf("hs: introduction: %w", err)
+		return nil, introFail(fmt.Errorf("hs: introduction: %w", err))
 	}
+	introSpan.End()
 
+	waitSpan := sp.Child("hs.rendezvous2")
 	reply, err := rendCirc.AwaitRendezvous2()
 	if err != nil {
 		rendCirc.Close()
+		waitSpan.Fail(err)
+		waitSpan.End()
 		return nil, err
 	}
 	keys, err := hsHandshake.Finish(reply)
 	if err != nil {
 		rendCirc.Close()
-		return nil, fmt.Errorf("hs: completing service handshake: %w", err)
+		err = fmt.Errorf("hs: completing service handshake: %w", err)
+		waitSpan.Fail(err)
+		waitSpan.End()
+		return nil, err
 	}
 	if err := rendCirc.AttachRendezvousLayer(keys); err != nil {
 		rendCirc.Close()
+		waitSpan.Fail(err)
+		waitSpan.End()
 		return nil, err
 	}
+	waitSpan.End()
 	return &Session{Circ: rendCirc}, nil
 }
 

@@ -1,0 +1,13 @@
+package hs
+
+// All hidden-service operations are control-plane (descriptor I/O,
+// circuit choreography), so unlike the cell datapath they fetch metric
+// handles per call — registration is an idempotent map lookup and the
+// nil registry degrades every call to a no-op.
+
+func idNote(serviceID string) string {
+	if len(serviceID) > 8 {
+		return serviceID[:8]
+	}
+	return serviceID
+}

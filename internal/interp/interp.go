@@ -55,6 +55,7 @@ type Machine struct {
 	Stdout io.Writer
 
 	budget    int64
+	budget0   int64 // initial instruction budget, for telemetry ratios
 	memLimit  int64
 	memBase   int64 // last full measurement
 	memDelta  int64 // allocations since last measurement
@@ -63,6 +64,7 @@ type Machine struct {
 	callDepth int   // current user-function call depth
 	killed    atomic.Bool
 	collected []Value // values to include in memory measurement roots
+	obs       machineMetrics
 }
 
 // Limits configures a Machine's resource ceilings.
@@ -84,6 +86,7 @@ func NewMachine(lim Limits) *Machine {
 	m := &Machine{
 		Globals:  NewEnv(nil),
 		budget:   lim.Instructions,
+		budget0:  lim.Instructions,
 		memLimit: lim.Memory,
 	}
 	installBuiltins(m)
@@ -127,7 +130,9 @@ func (m *Machine) Run(src string) error {
 	if err != nil {
 		return err
 	}
+	start := m.steps
 	_, err = m.execBlock(prog, m.Globals)
+	m.recordRun(start, err)
 	return err
 }
 
@@ -141,7 +146,10 @@ func (m *Machine) CallFunction(name string, args ...Value) (Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("bscript: %q is a %s, not a function", name, v.Type())
 	}
-	return m.callFunc(fn, args)
+	start := m.steps
+	v, err := m.callFunc(fn, args)
+	m.recordRun(start, err)
+	return v, err
 }
 
 // step charges one instruction and checks the kill switch.

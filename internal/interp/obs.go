@@ -1,0 +1,62 @@
+package interp
+
+import (
+	"errors"
+
+	"github.com/bento-nfv/bento/internal/obs"
+)
+
+// machineMetrics aggregates interpreter outcomes across every machine
+// wired to the same registry. The zero value (all nil handles) is the
+// telemetry-off state, so an unwired machine pays nothing. Metrics are
+// recorded only at Run/CallFunction boundaries — never per instruction —
+// keeping the step loop untouched.
+type machineMetrics struct {
+	invocations     *obs.Counter
+	stepsPerRun     *obs.Histogram // instructions charged by one Run/CallFunction
+	budgetUsedPct   *obs.Histogram // cumulative budget consumed, percent
+	budgetExhausted *obs.Counter
+	killed          *obs.Counter
+	memExceeded     *obs.Counter
+}
+
+// SetObs attaches (or, with a nil registry, detaches) telemetry. The
+// Bento server calls this when binding the host API, which also covers
+// watchdog-respawned containers. Call only while no code is executing in
+// the machine.
+func (m *Machine) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		m.obs = machineMetrics{}
+		return
+	}
+	m.obs = machineMetrics{
+		invocations:     reg.Counter("interp.invocations"),
+		stepsPerRun:     reg.Histogram("interp.steps_per_run", obs.CountBuckets),
+		budgetUsedPct:   reg.Histogram("interp.budget_used_pct", obs.PercentBuckets),
+		budgetExhausted: reg.Counter("interp.budget_exhausted"),
+		killed:          reg.Counter("interp.killed"),
+		memExceeded:     reg.Counter("interp.mem_exceeded"),
+	}
+}
+
+// recordRun accounts one top-level execution (Run or CallFunction).
+func (m *Machine) recordRun(startSteps int64, err error) {
+	m.obs.invocations.Inc()
+	m.obs.stepsPerRun.Observe(m.steps - startSteps)
+	if m.budget0 > 0 {
+		spent := m.budget0 - m.budget
+		if spent > m.budget0 {
+			spent = m.budget0 // budget runs one past zero on exhaustion
+		}
+		m.obs.budgetUsedPct.Observe(spent * 100 / m.budget0)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBudgetExceeded):
+		m.obs.budgetExhausted.Inc()
+	case errors.Is(err, ErrKilled):
+		m.obs.killed.Inc()
+	case errors.Is(err, ErrMemoryExceeded):
+		m.obs.memExceeded.Inc()
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active; its shadow
+// memory bookkeeping allocates, so zero-allocation assertions only hold
+// without it.
+const raceEnabled = true

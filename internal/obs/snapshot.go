@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HistSnapshot is a histogram frozen at snapshot time.
+type HistSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Avg    float64 `json:"avg"`
+	Max    int64   `json:"max"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1; last is overflow
+}
+
+// SpanStats summarizes the tracer ring.
+type SpanStats struct {
+	Total    uint64 `json:"total"`
+	Retained uint64 `json:"retained"`
+	Dropped  uint64 `json:"dropped"`
+	Slowest  []Span `json:"slowest,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of everything the registry knows.
+// Counters and histograms are read atomically per-metric (not
+// globally consistent across metrics — fine for dashboards).
+type Snapshot struct {
+	TakenAt    time.Duration           `json:"taken_at_ns"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	Spans      SpanStats               `json:"spans"`
+}
+
+// SlowestSpans is the number of spans embedded in a Snapshot.
+const SlowestSpans = 20
+
+// Snapshot freezes the registry. GaugeFunc callbacks are invoked
+// here, on the snapshotting goroutine. Nil registry → nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	s.TakenAt = r.tracer.clock()
+
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	fns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		fns[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range fns {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range hists {
+		hs := HistSnapshot{
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+			Max:    h.max.Load(),
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		if hs.Count > 0 {
+			hs.Avg = float64(hs.Sum) / float64(hs.Count)
+		}
+		s.Histograms[name] = hs
+	}
+	total, retained, dropped := r.tracer.Stats()
+	s.Spans = SpanStats{Total: total, Retained: retained, Dropped: dropped,
+		Slowest: r.tracer.Slowest(SlowestSpans)}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() []byte {
+	if s == nil {
+		return []byte("null")
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return []byte(fmt.Sprintf("{%q:%q}", "error", err.Error()))
+	}
+	return b
+}
+
+// Dashboard renders a human-readable text view: metrics grouped by
+// component prefix (the part of the name before the first dot), then
+// the slowest spans.
+func (s *Snapshot) Dashboard() string {
+	if s == nil {
+		return "telemetry: disabled (nil registry)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== telemetry @ %v (virtual) ==\n", s.TakenAt.Round(time.Microsecond))
+
+	type row struct{ name, val string }
+	groups := make(map[string][]row)
+	add := func(name, val string) {
+		comp := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			comp = name[:i]
+			name = name[i+1:]
+		}
+		groups[comp] = append(groups[comp], row{name, val})
+	}
+	for name, v := range s.Counters {
+		add(name, fmt.Sprintf("%d", v))
+	}
+	for name, v := range s.Gauges {
+		add(name, fmt.Sprintf("%d (gauge)", v))
+	}
+	for name, h := range s.Histograms {
+		val := fmt.Sprintf("n=%d avg=%.1f max=%d", h.Count, h.Avg, h.Max)
+		if strings.HasSuffix(name, "_ns") {
+			val = fmt.Sprintf("n=%d avg=%v max=%v", h.Count,
+				time.Duration(h.Avg).Round(time.Microsecond),
+				time.Duration(h.Max).Round(time.Microsecond))
+		}
+		add(name, val)
+	}
+
+	comps := make([]string, 0, len(groups))
+	for c := range groups {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		rows := groups[c]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+		fmt.Fprintf(&b, "[%s]\n", c)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %-36s %s\n", r.name, r.val)
+		}
+	}
+
+	fmt.Fprintf(&b, "-- spans: %d total, %d retained, %d overwritten --\n",
+		s.Spans.Total, s.Spans.Retained, s.Spans.Dropped)
+	for _, sp := range s.Spans.Slowest {
+		line := fmt.Sprintf("  %-24s %10v", sp.Name, sp.Dur.Round(time.Microsecond))
+		if sp.Note != "" {
+			line += "  " + sp.Note
+		}
+		if sp.Err != "" {
+			line += "  ERR: " + sp.Err
+		}
+		if sp.Parent != 0 {
+			line += fmt.Sprintf("  (child of #%d)", sp.Parent)
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanRing is the span ring capacity used by NewRegistry.
+const DefaultSpanRing = 4096
+
+// Span is a completed trace span. IDs are process-unique; Parent is 0
+// for roots. Start and Dur are in the registry's clock domain
+// (virtual time once SetClock has pointed it at the simnet clock).
+type Span struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Note   string        `json:"note,omitempty"`
+	Start  time.Duration `json:"start_ns"`
+	Dur    time.Duration `json:"dur_ns"`
+	Err    string        `json:"err,omitempty"`
+}
+
+// Tracer records completed spans into a fixed-size ring buffer. When
+// the ring is full the oldest span is overwritten; Total and Dropped
+// accounting keeps the loss visible. The nil *Tracer is a valid
+// no-op sink.
+type Tracer struct {
+	ids atomic.Uint64
+	now atomic.Value // func() time.Duration
+
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer with a ring of the given capacity
+// (minimum 1), clocked by wall time since creation until a registry
+// SetClock replaces the source.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{buf: make([]Span, 0, capacity)}
+	epoch := time.Now()
+	t.now.Store(func() time.Duration { return time.Since(epoch) })
+	return t
+}
+
+func (t *Tracer) clock() time.Duration {
+	return t.now.Load().(func() time.Duration)()
+}
+
+// Start opens a root span. Spans are for control paths; opening one
+// is cheap but not free (it reads the clock), and ending one takes
+// the ring mutex.
+func (t *Tracer) Start(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, id: t.ids.Add(1), name: name, start: t.clock()}
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+		return
+	}
+	t.buf[t.next] = s
+	t.next = (t.next + 1) % len(t.buf)
+}
+
+// Stats reports lifetime span accounting: how many spans completed,
+// how many are retained in the ring, and how many were overwritten.
+func (t *Tracer) Stats() (total, retained, dropped uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, uint64(len(t.buf)), t.total - uint64(len(t.buf))
+}
+
+// Spans returns a copy of the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Slowest returns up to n retained spans ordered by descending
+// duration.
+func (t *Tracer) Slowest(n int) []Span {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Dur > spans[j].Dur })
+	if len(spans) > n {
+		spans = spans[:n]
+	}
+	return spans
+}
+
+// SpanHandle is an open span. The zero SpanHandle (from a nil tracer
+// or registry) is a valid no-op: Child, Note, Fail and End all work
+// and record nothing. Handles are owned by the goroutine that started
+// them; End must be called exactly once, after which the handle is
+// dead.
+type SpanHandle struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	note   string
+	start  time.Duration
+	err    string
+}
+
+// Child opens a sub-span attributed to this span.
+func (h *SpanHandle) Child(name string) SpanHandle {
+	if h.t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: h.t, id: h.t.ids.Add(1), parent: h.id, name: name, start: h.t.clock()}
+}
+
+// Note attaches a short human-readable annotation (relay nickname,
+// function name); the last note wins.
+func (h *SpanHandle) Note(note string) {
+	if h.t != nil {
+		h.note = note
+	}
+}
+
+// Fail marks the span as failed with the error's text.
+func (h *SpanHandle) Fail(err error) {
+	if h.t != nil && err != nil {
+		h.err = err.Error()
+	}
+}
+
+// End closes the span and commits it to the ring.
+func (h *SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	end := h.t.clock()
+	h.t.record(Span{
+		ID:     h.id,
+		Parent: h.parent,
+		Name:   h.name,
+		Note:   h.note,
+		Start:  h.start,
+		Dur:    end - h.start,
+		Err:    h.err,
+	})
+	h.t = nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/bento-nfv/bento/internal/cell"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/otr"
 )
 
@@ -27,10 +28,17 @@ func (discardConn) SetWriteDeadline(time.Time) error { return nil }
 // keystream layer in place, fail recognition (with digest rollback),
 // restamp the circuit ID, and enqueue on the batched next-hop writer.
 // The acceptance bar for the datapath refactor is exactly 0 here.
+//
+// The cycle runs with live telemetry attached — a real registry's
+// per-cell counters plus the BatchWriter flush-size histogram and a
+// tracing sink — because the observability layer's own contract is that
+// instrumentation never costs an allocation on the datapath.
 func TestMiddleHopForwardAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instrumentation allocates")
 	}
+	reg := obs.NewRegistry()
+	m := newRelayMetrics(reg)
 	keys := make([]byte, otr.KeyMaterialLen)
 	for i := range keys {
 		keys[i] = byte(i*11 + 3)
@@ -54,7 +62,7 @@ func TestMiddleHopForwardAllocFree(t *testing.T) {
 	}
 	clientLayers := []*otr.Layer{cl0, cl1}
 
-	w := cell.NewBatchWriter(discardConn{})
+	w := cell.NewBatchWriterObs(discardConn{}, m.flush)
 	defer w.Close()
 
 	out := make([]byte, cell.Size)  // client's send buffer
@@ -72,7 +80,8 @@ func TestMiddleHopForwardAllocFree(t *testing.T) {
 		cell.SetWireCircID(out, 100)
 		cell.SetWireCmd(out, cell.CmdRelay)
 
-		// Middle hop: the handleRelay forwarding path on the read buffer.
+		// Middle hop: the handleRelay forwarding path on the read buffer,
+		// including the per-cell metric updates the live path performs.
 		copy(wire, out)
 		p := cell.WirePayload(wire)
 		middle.ApplyForward(p)
@@ -80,6 +89,7 @@ func TestMiddleHopForwardAllocFree(t *testing.T) {
 			t.Fatal("middle hop recognized a cell addressed past it")
 		}
 		cell.SetWireCircID(wire, 200)
+		m.fwdCells.Inc()
 		if err := w.WriteFrame(wire); err != nil {
 			t.Fatal(err)
 		}
@@ -90,5 +100,8 @@ func TestMiddleHopForwardAllocFree(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(500, cycle); allocs != 0 {
 		t.Fatalf("middle-hop forward path allocates %.2f times per cell, want 0", allocs)
+	}
+	if m.fwdCells.Value() == 0 || m.flush.Count() == 0 {
+		t.Fatal("live instrumentation did not record the forwarded cells")
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"github.com/bento-nfv/bento/internal/cell"
 	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/otr"
 	"github.com/bento-nfv/bento/internal/policy"
 	"github.com/bento-nfv/bento/internal/simnet"
@@ -51,6 +52,8 @@ type Relay struct {
 	onion   *otr.OnionKey
 	ln      net.Listener
 	closing chan struct{}
+	reg     *obs.Registry
+	m       relayMetrics
 
 	mu         sync.Mutex
 	rendezvous map[string]*circuitEnd // cookie (hex) -> waiting client circuit
@@ -76,9 +79,12 @@ func New(host *simnet.Host, cfg Config) (*Relay, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := host.Network().Obs()
 	r := &Relay{
 		host:       host,
 		cfg:        cfg,
+		reg:        reg,
+		m:          newRelayMetrics(reg),
 		idPub:      idPub,
 		idPriv:     idPriv,
 		onion:      onion,
@@ -228,7 +234,7 @@ func (r *Relay) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	prevW := cell.NewBatchWriter(conn)
+	prevW := cell.NewBatchWriterObs(conn, r.m.flush)
 	defer prevW.Close()
 	created := &cell.Cell{CircID: circID, Cmd: cell.CmdCreated}
 	copy(created.Payload[:], reply)
@@ -244,6 +250,7 @@ func (r *Relay) serveConn(conn net.Conn) {
 		bwWire:  make([]byte, cell.Size),
 		streams: make(map[uint16]net.Conn),
 	}
+	r.m.circCreated.Inc()
 	defer ce.teardown()
 
 	for {
@@ -279,6 +286,7 @@ func (r *Relay) handleRelay(ce *circuitEnd, wire []byte) bool {
 	ce.layer.ApplyForward(payload)
 
 	if cell.Recognized(payload) && ce.layer.VerifyForward(payload, cell.DigestOffset) {
+		r.m.recognized.Inc()
 		hdr, data, err := cell.ParseRelay(payload)
 		if err != nil {
 			r.logf("bad relay payload: %v", err)
@@ -295,6 +303,7 @@ func (r *Relay) handleRelay(ce *circuitEnd, wire []byte) bool {
 	switch {
 	case nextW != nil:
 		cell.SetWireCircID(wire, nextID)
+		r.m.fwdCells.Inc()
 		return nextW.WriteFrame(wire) == nil
 	case joined != nil:
 		// Rendezvous splice: the still-encrypted payload continues as a
@@ -302,6 +311,7 @@ func (r *Relay) handleRelay(ce *circuitEnd, wire []byte) bool {
 		return joined.relayBackwardFrame(wire) == nil
 	default:
 		r.logf("unrecognized relay cell at last hop, dropping circuit")
+		r.m.dropped.Inc()
 		return false
 	}
 }
@@ -348,24 +358,34 @@ func (r *Relay) handleExtend(ce *circuitEnd, hdr cell.RelayHeader, data []byte) 
 		r.logf("EXTEND on already-extended circuit")
 		return false
 	}
+	sp := r.reg.StartSpan("relay.extend")
+	sp.Note(ext.Addr)
 	nextConn, err := r.host.Dial(ext.Addr)
 	if err != nil {
 		r.logf("extend dial %s: %v", ext.Addr, err)
+		r.m.extendFails.Inc()
+		sp.Fail(err)
+		sp.End()
 		return false
 	}
 	var circID [4]byte
 	rand.Read(circID[:])
 	nextID := uint32(circID[0])<<24 | uint32(circID[1])<<16 | uint32(circID[2])<<8 | uint32(circID[3])
-	nextW := cell.NewBatchWriter(nextConn)
+	nextW := cell.NewBatchWriterObs(nextConn, r.m.flush)
 	create := &cell.Cell{CircID: nextID, Cmd: cell.CmdCreate}
 	copy(create.Payload[:], ext.Handshake)
 	if err := nextW.WriteCell(create); err != nil {
 		nextW.Close()
+		r.m.extendFails.Inc()
+		sp.Fail(err)
+		sp.End()
 		return false
 	}
 	reply := new(cell.Cell)
 	if err := cell.ReadInto(nextConn, reply); err != nil || reply.Cmd != cell.CmdCreated {
 		nextW.Close()
+		r.m.extendFails.Inc()
+		sp.End()
 		return false
 	}
 	ce.mu.Lock()
@@ -373,6 +393,8 @@ func (r *Relay) handleExtend(ce *circuitEnd, hdr cell.RelayHeader, data []byte) 
 	ce.nextCircID = nextID
 	ce.mu.Unlock()
 	go ce.backwardPump(nextConn)
+	r.m.extends.Inc()
+	sp.End()
 
 	extended, err := cell.EncodeControl(&cell.ExtendedPayload{
 		Reply: reply.Payload[:otr.PublicKeyLen+otr.AuthLen],
@@ -410,6 +432,7 @@ func (ce *circuitEnd) backwardPump(next net.Conn) {
 // the client. The frame is the caller's buffer; the writer copies it on
 // enqueue, so the caller may reuse it as soon as this returns.
 func (ce *circuitEnd) relayBackwardFrame(wire []byte) error {
+	ce.relay.m.bwdCells.Inc()
 	ce.bwMu.Lock()
 	defer ce.bwMu.Unlock()
 	ce.layer.ApplyBackward(cell.WirePayload(wire))
@@ -422,6 +445,7 @@ func (ce *circuitEnd) relayBackwardFrame(wire []byte) error {
 // exit stream data): pack, seal with the backward digest, and encrypt in
 // the reused scratch frame, then enqueue a copy toward the client.
 func (ce *circuitEnd) sendBackward(hdr cell.RelayHeader, data []byte) error {
+	ce.relay.m.originated.Inc()
 	ce.bwMu.Lock()
 	defer ce.bwMu.Unlock()
 	payload := cell.WirePayload(ce.bwWire)
@@ -453,10 +477,12 @@ func (r *Relay) handleBegin(ce *circuitEnd, hdr cell.RelayHeader, data []byte) b
 	}
 	if !r.cfg.ExitPolicy.Allows(policyHost, port) {
 		r.logf("exit policy refuses %s:%d", policyHost, port)
+		r.m.streamsRefused.Inc()
 		return endStream(ce, hdr.StreamID, "exit policy refused")
 	}
 	remote, err := r.host.Dial(fmt.Sprintf("%s:%d", host, port))
 	if err != nil {
+		r.m.streamsRefused.Inc()
 		return endStream(ce, hdr.StreamID, "connect failed")
 	}
 	ce.mu.Lock()
@@ -468,6 +494,7 @@ func (r *Relay) handleBegin(ce *circuitEnd, hdr cell.RelayHeader, data []byte) b
 	ce.streams[hdr.StreamID] = remote
 	ce.mu.Unlock()
 
+	r.m.streamsOpened.Inc()
 	go ce.exitReader(hdr.StreamID, remote)
 	return ce.sendBackward(cell.RelayHeader{StreamID: hdr.StreamID, Cmd: cell.RelayConnected}, nil) == nil
 }
@@ -562,6 +589,7 @@ func (r *Relay) handleIntroduce1(ce *circuitEnd, _ cell.RelayHeader, data []byte
 	if err := svc.sendBackward(cell.RelayHeader{Cmd: cell.RelayIntroduce2}, intro.Inner); err != nil {
 		return endIntroduce(ce, "service unreachable")
 	}
+	r.m.introsForwarded.Inc()
 	return ce.sendBackward(cell.RelayHeader{Cmd: cell.RelayIntroduceAck}, nil) == nil
 }
 
@@ -611,6 +639,7 @@ func (r *Relay) handleRendezvous1(ce *circuitEnd, _ cell.RelayHeader, data []byt
 	if err != nil {
 		return false
 	}
+	r.m.rendSplices.Inc()
 	return client.sendBackward(cell.RelayHeader{Cmd: cell.RelayRendezvous2}, reply) == nil
 }
 
@@ -628,6 +657,7 @@ func (ce *circuitEnd) teardown() {
 	streams := ce.streams
 	ce.streams = map[uint16]net.Conn{}
 	ce.mu.Unlock()
+	ce.relay.m.circDestroyed.Inc()
 
 	for _, s := range streams {
 		s.Close()

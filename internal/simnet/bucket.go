@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"github.com/bento-nfv/bento/internal/obs"
 )
 
 // TokenBucket is a classic token-bucket rate limiter measured in virtual
@@ -13,11 +15,13 @@ import (
 type TokenBucket struct {
 	clock *Clock
 
-	mu     sync.Mutex
-	rate   float64       // tokens (bytes) per virtual second; 0 = unlimited
-	burst  float64       // bucket capacity in bytes
-	tokens float64       // current fill
-	last   time.Duration // virtual time of last refill
+	mu      sync.Mutex
+	rate    float64       // tokens (bytes) per virtual second; 0 = unlimited
+	burst   float64       // bucket capacity in bytes
+	tokens  float64       // current fill
+	last    time.Duration // virtual time of last refill
+	waiting float64       // bytes accepted by Take but not yet granted
+	obsWait *obs.Histogram
 }
 
 // NewTokenBucket returns a bucket refilling at rate bytes per virtual
@@ -50,6 +54,22 @@ func (tb *TokenBucket) SetRate(rate float64) {
 	tb.rate = rate
 }
 
+// Backlog reports the bytes accepted by in-flight Take calls that are
+// still waiting on tokens — the depth of the virtual NIC queue.
+func (tb *TokenBucket) Backlog() int64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return int64(tb.waiting)
+}
+
+// setObs attaches a histogram recording per-Take throttle waits (virtual
+// nanoseconds). The nil histogram detaches.
+func (tb *TokenBucket) setObs(wait *obs.Histogram) {
+	tb.mu.Lock()
+	tb.obsWait = wait
+	tb.mu.Unlock()
+}
+
 // Take blocks until n bytes worth of tokens have been consumed. Large
 // requests are split into burst-sized chunks so that concurrent callers
 // interleave rather than serialize behind one huge acquisition.
@@ -58,11 +78,12 @@ func (tb *TokenBucket) Take(n int) {
 		return
 	}
 	remaining := float64(n)
+	var waited time.Duration
+	tb.mu.Lock()
+	tb.waiting += remaining
 	for remaining > 0 {
-		tb.mu.Lock()
 		if tb.rate <= 0 {
-			tb.mu.Unlock()
-			return
+			break
 		}
 		chunk := math.Min(remaining, tb.burst)
 		tb.refillLocked()
@@ -70,14 +91,25 @@ func (tb *TokenBucket) Take(n int) {
 		if tb.tokens >= chunk {
 			tb.tokens -= chunk
 			remaining -= chunk
+			tb.waiting -= chunk
 		} else {
 			deficit := chunk - tb.tokens
 			wait = time.Duration(deficit / tb.rate * float64(time.Second))
 		}
-		tb.mu.Unlock()
 		if wait > 0 {
+			tb.mu.Unlock()
 			tb.clock.Sleep(wait)
+			waited += wait
+			tb.mu.Lock()
 		}
+	}
+	// Anything skipped because the rate dropped to unlimited mid-Take is
+	// no longer queued.
+	tb.waiting -= remaining
+	h := tb.obsWait
+	tb.mu.Unlock()
+	if waited > 0 {
+		h.ObserveDuration(waited)
 	}
 }
 

@@ -134,6 +134,9 @@ func (c *Chaos) CrashHost(name string) {
 	c.mu.Lock()
 	c.down[name] = true
 	c.mu.Unlock()
+	if m := c.net.metrics(); m != nil {
+		m.chaosCrashes.Inc()
+	}
 	if h := c.net.Host(name); h != nil {
 		h.severAll()
 	}
@@ -143,8 +146,11 @@ func (c *Chaos) CrashHost(name string) {
 // again.
 func (c *Chaos) RestartHost(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.down, name)
+	c.mu.Unlock()
+	if m := c.net.metrics(); m != nil {
+		m.chaosRestarts.Inc()
+	}
 }
 
 // CrashHostFor crashes the host, keeps it down for the given virtual
@@ -221,7 +227,11 @@ func (c *Chaos) chunkFaults(rng *rand.Rand, from, to string) (extra time.Duratio
 	c.mu.Lock()
 	f := c.faultsForLocked(from, to)
 	c.mu.Unlock()
+	m := c.net.metrics()
 	if f.BreakProb > 0 && rng.Float64() < f.BreakProb {
+		if m != nil {
+			m.chaosBreaks.Inc()
+		}
 		return 0, true
 	}
 	if f.LossProb > 0 && rng.Float64() < f.LossProb {
@@ -230,9 +240,15 @@ func (c *Chaos) chunkFaults(rng *rand.Rand, from, to string) (extra time.Duratio
 			d = defaultRetransDelay
 		}
 		extra += d
+		if m != nil {
+			m.chaosLosses.Inc()
+		}
 	}
 	if f.JitterMax > 0 {
 		extra += time.Duration(rng.Int63n(int64(f.JitterMax)))
+		if m != nil {
+			m.chaosJitters.Inc()
+		}
 	}
 	return extra, false
 }
@@ -251,7 +267,14 @@ func (c *Chaos) blocked(from, to string) bool {
 // connection closes, polling in virtual time. It returns false when the
 // connection closed while stalled.
 func (c *Chaos) awaitLink(from, to string, closed <-chan struct{}) bool {
+	stalled := false
 	for c.blocked(from, to) {
+		if !stalled {
+			stalled = true
+			if m := c.net.metrics(); m != nil {
+				m.chaosPartitionStall.Inc()
+			}
+		}
 		select {
 		case <-closed:
 			return false

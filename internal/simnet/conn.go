@@ -178,6 +178,7 @@ func (c *conn) Write(p []byte) (int, error) {
 	if c.isClosed() {
 		return 0, net.ErrClosed
 	}
+	m := c.localHost.net.metrics()
 	total := 0
 	for len(p) > 0 {
 		n := len(p)
@@ -208,6 +209,10 @@ func (c *conn) Write(p []byte) (int, error) {
 		case c.out <- chunk{data: data, at: at}:
 		case <-c.closed:
 			return total, net.ErrClosed
+		}
+		if m != nil {
+			m.bytesSent.Add(int64(n))
+			m.chunksSent.Inc()
 		}
 		total += n
 		p = p[n:]

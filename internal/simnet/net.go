@@ -15,6 +15,9 @@ type Network struct {
 	// chaos is the optional fault-injection controller (see EnableChaos);
 	// nil means a perfect network.
 	chaos atomic.Pointer[Chaos]
+	// obsm is the optional telemetry hook bundle (see SetObs); nil means
+	// every instrumentation point is a no-op.
+	obsm atomic.Pointer[netMetrics]
 
 	mu           sync.RWMutex
 	hosts        map[string]*Host
@@ -52,6 +55,9 @@ func (n *Network) AddHost(name string, egressRate float64) *Host {
 		egress:    NewTokenBucket(n.clock, egressRate, 64*1024),
 		listeners: make(map[int]*listener),
 		conns:     make(map[*conn]struct{}),
+	}
+	if m := n.metrics(); m != nil {
+		h.egress.setObs(m.egressWaitNs)
 	}
 	n.hosts[name] = h
 	return h
@@ -150,16 +156,24 @@ func (h *Host) Listen(port int) (net.Listener, error) {
 // delay. The returned net.Conn's traffic is shaped by both endpoints'
 // egress buckets and the link delay.
 func (h *Host) Dial(target string) (net.Conn, error) {
+	m := h.net.metrics()
 	thost, tport, err := splitHostPort(target)
 	if err != nil {
 		return nil, err
 	}
 	remote := h.net.Host(thost)
 	if remote == nil {
+		if m != nil {
+			m.dialFailures.Inc()
+		}
 		return nil, fmt.Errorf("simnet: no route to host %q", thost)
 	}
 	if ch := h.net.Chaos(); ch != nil {
 		if err := ch.dialErr(h.name, thost); err != nil {
+			if m != nil {
+				m.dialFailures.Inc()
+				m.chaosDialFails.Inc()
+			}
 			return nil, err
 		}
 	}
@@ -167,6 +181,9 @@ func (h *Host) Dial(target string) (net.Conn, error) {
 	l, ok := remote.listeners[tport]
 	remote.mu.Unlock()
 	if !ok {
+		if m != nil {
+			m.dialFailures.Inc()
+		}
 		return nil, fmt.Errorf("simnet: connection refused: %s", target)
 	}
 
@@ -180,10 +197,16 @@ func (h *Host) Dial(target string) (net.Conn, error) {
 	h.net.clock.Sleep(2 * h.net.Delay(h.name, thost))
 	select {
 	case l.accept <- sv:
+		if m != nil {
+			m.dials.Inc()
+		}
 		return cl, nil
 	case <-l.done:
 		cl.Close()
 		sv.Close()
+		if m != nil {
+			m.dialFailures.Inc()
+		}
 		return nil, fmt.Errorf("simnet: connection refused: %s", target)
 	}
 }

@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"github.com/bento-nfv/bento/internal/obs"
+)
+
+// netMetrics bundles the pre-registered telemetry handles for one
+// network. It is attached atomically by SetObs; a network that never
+// calls SetObs carries a nil pointer and every hook stays a single
+// predictable branch.
+type netMetrics struct {
+	reg *obs.Registry
+
+	dials        *obs.Counter
+	dialFailures *obs.Counter
+	bytesSent    *obs.Counter
+	chunksSent   *obs.Counter
+	egressWaitNs *obs.Histogram
+
+	chaosDialFails      *obs.Counter
+	chaosLosses         *obs.Counter
+	chaosBreaks         *obs.Counter
+	chaosJitters        *obs.Counter
+	chaosPartitionStall *obs.Counter
+	chaosCrashes        *obs.Counter
+	chaosRestarts       *obs.Counter
+}
+
+// SetObs attaches a telemetry registry to the network: dial and byte
+// counters, egress token-bucket wait histograms, chaos event counters,
+// and snapshot-time gauges for open connections and egress backlog.
+// Call it before traffic starts (components built on the network read
+// the registry at construction time via Obs). A nil registry is a
+// no-op.
+func (n *Network) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &netMetrics{
+		reg:          reg,
+		dials:        reg.Counter("simnet.dials"),
+		dialFailures: reg.Counter("simnet.dial_failures"),
+		bytesSent:    reg.Counter("simnet.bytes_sent"),
+		chunksSent:   reg.Counter("simnet.chunks_sent"),
+		egressWaitNs: reg.Histogram("simnet.egress_wait_ns", obs.LatencyBuckets),
+
+		chaosDialFails:      reg.Counter("simnet.chaos_dial_failures"),
+		chaosLosses:         reg.Counter("simnet.chaos_losses"),
+		chaosBreaks:         reg.Counter("simnet.chaos_breaks"),
+		chaosJitters:        reg.Counter("simnet.chaos_jitters"),
+		chaosPartitionStall: reg.Counter("simnet.chaos_partition_stalls"),
+		chaosCrashes:        reg.Counter("simnet.chaos_host_crashes"),
+		chaosRestarts:       reg.Counter("simnet.chaos_host_restarts"),
+	}
+	reg.GaugeFunc("simnet.open_conns", func() int64 { return int64(n.OpenConns()) })
+	reg.GaugeFunc("simnet.egress_backlog_bytes", n.EgressBacklog)
+	reg.GaugeFunc("simnet.hosts", func() int64 {
+		n.mu.RLock()
+		defer n.mu.RUnlock()
+		return int64(len(n.hosts))
+	})
+	n.obsm.Store(m)
+
+	// Hosts added before SetObs pick up the wait histogram here; hosts
+	// added after pick it up in AddHost.
+	n.mu.RLock()
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.mu.RUnlock()
+	for _, h := range hosts {
+		h.egress.setObs(m.egressWaitNs)
+	}
+}
+
+// Obs returns the registry attached with SetObs, or nil. Components
+// built on a host fetch their metric handles through this at
+// construction; the nil result degrades them to no-op instrumentation.
+func (n *Network) Obs() *obs.Registry {
+	if m := n.obsm.Load(); m != nil {
+		return m.reg
+	}
+	return nil
+}
+
+// metrics returns the hook bundle (nil when SetObs was never called).
+func (n *Network) metrics() *netMetrics { return n.obsm.Load() }
+
+// OpenConns reports the number of live connection endpoints across all
+// hosts.
+func (n *Network) OpenConns() int {
+	n.mu.RLock()
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.mu.RUnlock()
+	total := 0
+	for _, h := range hosts {
+		total += h.OpenConns()
+	}
+	return total
+}
+
+// EgressBacklog reports the total bytes accepted for sending but still
+// waiting on egress tokens, summed across all hosts.
+func (n *Network) EgressBacklog() int64 {
+	n.mu.RLock()
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.mu.RUnlock()
+	var total int64
+	for _, h := range hosts {
+		total += h.EgressBacklog()
+	}
+	return total
+}
+
+// OpenConns reports the number of live connection endpoints on the
+// host.
+func (h *Host) OpenConns() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// EgressBacklog reports the bytes this host has accepted for sending
+// that are still blocked waiting for uplink tokens.
+func (h *Host) EgressBacklog() int64 { return h.egress.Backlog() }

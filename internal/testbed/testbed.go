@@ -12,6 +12,7 @@ import (
 	"github.com/bento-nfv/bento/internal/dirauth"
 	"github.com/bento-nfv/bento/internal/enclave"
 	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/policy"
 	"github.com/bento-nfv/bento/internal/relay"
 	"github.com/bento-nfv/bento/internal/simnet"
@@ -41,6 +42,10 @@ type Config struct {
 	WebEgress float64
 	// Quiet silences relay logging (default true via NewQuiet callers).
 	Verbose bool
+	// Obs, when non-nil, is attached to the network before any component
+	// starts, so every layer registers its metrics and spans there. The
+	// registry's clock is rebound to the deployment's virtual clock.
+	Obs *obs.Registry
 }
 
 // World is a running deployment.
@@ -72,6 +77,10 @@ func New(cfg Config) (*World, error) {
 	}
 
 	n := simnet.NewNetwork(simnet.NewClock(cfg.ClockScale), cfg.LinkDelay)
+	if cfg.Obs != nil {
+		cfg.Obs.SetClock(n.Clock().Now)
+		n.SetObs(cfg.Obs)
+	}
 	auth, err := dirauth.NewAuthority()
 	if err != nil {
 		return nil, err

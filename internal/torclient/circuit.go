@@ -9,6 +9,7 @@ import (
 
 	"github.com/bento-nfv/bento/internal/cell"
 	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/otr"
 )
 
@@ -57,12 +58,32 @@ type Circuit struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	reason    error // why the circuit died; written before closed is closed
+
+	// buildSpan parents per-hop extend spans while BuildCircuit runs.
+	// Touched only by the building goroutine; nil once the build returns.
+	buildSpan *obs.SpanHandle
 }
 
 // BuildCircuit constructs a circuit along the given path, performing the
 // CREATE handshake with the first relay and telescoping EXTENDs to the
 // rest.
 func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
+	sp := c.reg.StartSpan("circuit.build")
+	sp.Note(pathNote(path))
+	start := c.host.Clock().Now()
+	circ, err := c.buildCircuit(path, &sp)
+	if err != nil {
+		c.m.circBuildFails.Inc()
+		sp.Fail(err)
+	} else {
+		c.m.circBuilt.Inc()
+		c.m.buildNs.ObserveDuration(c.host.Clock().Now() - start)
+	}
+	sp.End()
+	return circ, err
+}
+
+func (c *Client) buildCircuit(path []*dirauth.Descriptor, sp *obs.SpanHandle) (*Circuit, error) {
 	if len(path) == 0 {
 		return nil, errors.New("torclient: empty path")
 	}
@@ -82,6 +103,9 @@ func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
 
 	// CREATE/CREATED with the guard, synchronously (dispatcher not yet
 	// running).
+	guardSpan := sp.Child("circuit.hop")
+	guardSpan.Note(path[0].Nickname)
+	guardStart := c.host.Clock().Now()
 	hs, msg, err := otr.NewClientHandshake([]byte(path[0].Fingerprint()), path[0].OnionKey)
 	if err != nil {
 		conn.Close()
@@ -91,24 +115,36 @@ func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
 	copy(create.Payload[:], msg)
 	if err := cell.Write(conn, create); err != nil {
 		conn.Close()
+		guardSpan.Fail(err)
+		guardSpan.End()
 		return nil, err
 	}
 	created, err := cell.Read(conn)
 	if err != nil || created.Cmd != cell.CmdCreated {
 		conn.Close()
 		c.MarkRelayBad(path[0].Fingerprint())
-		return nil, fmt.Errorf("torclient: CREATE to %s failed", path[0].Nickname)
+		err = fmt.Errorf("torclient: CREATE to %s failed", path[0].Nickname)
+		guardSpan.Fail(err)
+		guardSpan.End()
+		return nil, err
 	}
 	keys, err := hs.Finish(created.Payload[:otr.PublicKeyLen+otr.AuthLen])
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("torclient: guard handshake: %w", err)
+		err = fmt.Errorf("torclient: guard handshake: %w", err)
+		guardSpan.Fail(err)
+		guardSpan.End()
+		return nil, err
 	}
 	layer, err := otr.NewLayer(keys)
 	if err != nil {
 		conn.Close()
+		guardSpan.Fail(err)
+		guardSpan.End()
 		return nil, err
 	}
+	c.m.hopNs.ObserveDuration(c.host.Clock().Now() - guardStart)
+	guardSpan.End()
 
 	circ := &Circuit{
 		client:   c,
@@ -124,15 +160,18 @@ func (c *Client) BuildCircuit(path []*dirauth.Descriptor) (*Circuit, error) {
 	}
 	go circ.dispatch()
 
+	circ.buildSpan = sp
 	for _, hop := range path[1:] {
 		if err := circ.Extend(hop); err != nil {
 			// The hop we were extending toward is the prime suspect: the
 			// built prefix already proved itself by relaying the EXTEND.
 			c.MarkRelayBad(hop.Fingerprint())
+			circ.buildSpan = nil
 			circ.Close()
 			return nil, err
 		}
 	}
+	circ.buildSpan = nil
 	return circ, nil
 }
 
@@ -152,6 +191,25 @@ func (circ *Circuit) Len() int {
 
 // Extend telescopes the circuit by one hop.
 func (circ *Circuit) Extend(hop *dirauth.Descriptor) error {
+	var sp obs.SpanHandle
+	if circ.buildSpan != nil {
+		sp = circ.buildSpan.Child("circuit.hop")
+	} else {
+		sp = circ.client.reg.StartSpan("circuit.hop")
+	}
+	sp.Note(hop.Nickname)
+	start := circ.client.Clock().Now()
+	err := circ.extend(hop)
+	if err != nil {
+		sp.Fail(err)
+	} else {
+		circ.client.m.hopNs.ObserveDuration(circ.client.Clock().Now() - start)
+	}
+	sp.End()
+	return err
+}
+
+func (circ *Circuit) extend(hop *dirauth.Descriptor) error {
 	hs, msg, err := otr.NewClientHandshake([]byte(hop.Fingerprint()), hop.OnionKey)
 	if err != nil {
 		return err
@@ -209,6 +267,7 @@ func (circ *Circuit) sendLocked(hdr cell.RelayHeader, data []byte) error {
 	otr.OnionEncrypt(circ.layers, target, payload, cell.DigestOffset)
 	cell.SetWireCircID(circ.sendWire, circ.circID)
 	cell.SetWireCmd(circ.sendWire, cell.CmdRelay)
+	circ.client.m.cellsSent.Inc()
 	return circ.w.WriteFrame(circ.sendWire)
 }
 
@@ -258,6 +317,7 @@ func (circ *Circuit) closeWithReason(cause error) error {
 		streamErr := ErrCircuitClosed
 		if cause != nil {
 			streamErr = fmt.Errorf("%w: %v", ErrCircuitClosed, cause)
+			circ.client.m.circDeaths.Inc()
 			circ.client.noteCircuitFailure(circ)
 		}
 		for _, s := range streams {
@@ -296,6 +356,7 @@ func (circ *Circuit) dispatch() {
 			}
 			return
 		}
+		circ.client.m.cellsRecv.Inc()
 		switch cell.WireCmd(wire) {
 		case cell.CmdDestroy:
 			circ.closeWithReason(errors.New("torclient: circuit destroyed by relay"))
@@ -419,6 +480,9 @@ type tappedConn struct {
 	net.Conn
 	tap   TrafficTap
 	clock interface{ Now() time.Duration }
+	// readRem carries the bytes of a partially delivered cell across Read
+	// calls. Only the dispatch goroutine reads the guard link, so no lock.
+	readRem int
 }
 
 func (t *tappedConn) Write(p []byte) (int, error) {
@@ -442,7 +506,16 @@ func (t *tappedConn) Write(p []byte) (int, error) {
 func (t *tappedConn) Read(p []byte) (int, error) {
 	n, err := t.Conn.Read(p)
 	if n > 0 {
-		t.tap(-1, n, t.clock.Now())
+		// The link delivers arbitrary byte runs: a single Read may return
+		// several coalesced cells or a fragment of one. Mirror Write's
+		// per-cell granularity by accumulating bytes and emitting one
+		// event per completed cell, carrying remainders to the next Read.
+		now := t.clock.Now()
+		t.readRem += n
+		for t.readRem >= cell.Size {
+			t.tap(-1, cell.Size, now)
+			t.readRem -= cell.Size
+		}
 	}
 	return n, err
 }

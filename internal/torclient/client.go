@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/simnet"
 )
 
@@ -18,6 +19,8 @@ import (
 type Client struct {
 	host      *simnet.Host
 	consensus *dirauth.Consensus
+	reg       *obs.Registry
+	m         clientMetrics
 
 	mu   sync.Mutex
 	rng  *rand.Rand
@@ -34,9 +37,12 @@ type TrafficTap func(dir int, size int, at time.Duration)
 
 // New creates a client. seed makes path selection reproducible.
 func New(host *simnet.Host, consensus *dirauth.Consensus, seed int64) *Client {
+	reg := host.Network().Obs()
 	return &Client{
 		host:      host,
 		consensus: consensus,
+		reg:       reg,
+		m:         newClientMetrics(reg),
 		rng:       rand.New(rand.NewSource(seed)),
 		ctrl:      DefaultCtrlTimeout,
 		bad:       make(map[string]time.Duration),

@@ -36,6 +36,7 @@ func (c *Client) MarkRelayBad(fingerprint string) {
 	if fingerprint == "" {
 		return
 	}
+	c.m.relaysMarked.Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.bad[fingerprint] = c.host.Clock().Now() + badRelayTTL
@@ -185,6 +186,7 @@ func (c *Client) DialResilient(destHost string, destPort int, target string, att
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			c.m.healRetries.Inc()
 			clock.Sleep(backoff)
 			backoff *= 2
 		}

@@ -1,0 +1,55 @@
+package torclient
+
+import (
+	"strings"
+
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/obs"
+)
+
+// clientMetrics is the torclient's pre-registered telemetry bundle.
+// Handles come from the host network's registry at New time; a network
+// without telemetry yields nil handles and every update is a no-op.
+// Names are shared by all clients on one network, so counts aggregate
+// client-wide.
+type clientMetrics struct {
+	circBuilt      *obs.Counter
+	circBuildFails *obs.Counter
+	circDeaths     *obs.Counter // abnormal teardowns (DESTROY, severed link, stall)
+	relaysMarked   *obs.Counter
+	healRetries    *obs.Counter // DialResilient attempts beyond the first
+
+	streamsOpened *obs.Counter
+	streamFails   *obs.Counter
+
+	cellsSent *obs.Counter
+	cellsRecv *obs.Counter
+
+	buildNs *obs.Histogram // whole-circuit build latency, virtual ns
+	hopNs   *obs.Histogram // per-hop extend latency, virtual ns
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		circBuilt:      reg.Counter("torclient.circuits_built"),
+		circBuildFails: reg.Counter("torclient.circuit_build_failures"),
+		circDeaths:     reg.Counter("torclient.circuit_deaths"),
+		relaysMarked:   reg.Counter("torclient.relays_marked_bad"),
+		healRetries:    reg.Counter("torclient.heal_retries"),
+		streamsOpened:  reg.Counter("torclient.streams_opened"),
+		streamFails:    reg.Counter("torclient.stream_failures"),
+		cellsSent:      reg.Counter("torclient.cells_sent"),
+		cellsRecv:      reg.Counter("torclient.cells_received"),
+		buildNs:        reg.Histogram("torclient.circuit_build_ns", obs.LatencyBuckets),
+		hopNs:          reg.Histogram("torclient.hop_extend_ns", obs.LatencyBuckets),
+	}
+}
+
+// pathNote renders a circuit path as a short span annotation.
+func pathNote(path []*dirauth.Descriptor) string {
+	names := make([]string, len(path))
+	for i, d := range path {
+		names[i] = d.Nickname
+	}
+	return strings.Join(names, ">")
+}

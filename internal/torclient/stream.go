@@ -49,6 +49,20 @@ func newStream(circ *Circuit, id uint16, service bool) *Stream {
 // circuit (after AttachRendezvousLayer) the hidden service receives the
 // BEGIN.
 func (circ *Circuit) OpenStream(target string) (net.Conn, error) {
+	sp := circ.client.reg.StartSpan("stream.open")
+	sp.Note(target)
+	conn, err := circ.openStream(target)
+	if err != nil {
+		circ.client.m.streamFails.Inc()
+		sp.Fail(err)
+	} else {
+		circ.client.m.streamsOpened.Inc()
+	}
+	sp.End()
+	return conn, err
+}
+
+func (circ *Circuit) openStream(target string) (net.Conn, error) {
 	circ.mu.Lock()
 	circ.nextStream++
 	id := circ.nextStream

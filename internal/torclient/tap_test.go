@@ -1,0 +1,138 @@
+package torclient
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/cell"
+)
+
+// fixedClock satisfies the tap's clock dependency.
+type fixedClock struct{}
+
+func (fixedClock) Now() time.Duration { return 42 * time.Millisecond }
+
+// chunkConn is a net.Conn whose Write records bytes and whose Read
+// serves a preloaded buffer in caller-chosen chunk sizes, emulating a
+// link that coalesces and fragments cells arbitrarily.
+type chunkConn struct {
+	mu      sync.Mutex
+	wrote   bytes.Buffer
+	toRead  []byte
+	chunks  []int // successive Read sizes; last repeats
+	chunkIx int
+}
+
+func (c *chunkConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wrote.Write(p)
+}
+
+func (c *chunkConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.toRead) == 0 {
+		return 0, io.EOF
+	}
+	n := c.chunks[c.chunkIx]
+	if c.chunkIx < len(c.chunks)-1 {
+		c.chunkIx++
+	}
+	if n > len(c.toRead) {
+		n = len(c.toRead)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copied := copy(p, c.toRead[:n])
+	c.toRead = c.toRead[copied:]
+	return copied, nil
+}
+
+func (c *chunkConn) Close() error                     { return nil }
+func (c *chunkConn) LocalAddr() net.Addr              { return nil }
+func (c *chunkConn) RemoteAddr() net.Addr             { return nil }
+func (c *chunkConn) SetDeadline(time.Time) error      { return nil }
+func (c *chunkConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *chunkConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestTapParityUnderCoalescing locks in the tap's per-cell granularity
+// in both directions: cells written through a cell.BatchWriter (which
+// coalesces whole cells into single Write calls) and cells read back in
+// arbitrary fragment sizes must produce exactly one tap event per cell
+// each way.
+func TestTapParityUnderCoalescing(t *testing.T) {
+	const n = 12
+
+	var mu sync.Mutex
+	var outEvents, inEvents int
+	tap := func(dir, size int, _ time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		if size != cell.Size {
+			t.Errorf("tap event size = %d, want %d", size, cell.Size)
+		}
+		switch dir {
+		case +1:
+			outEvents++
+		case -1:
+			inEvents++
+		default:
+			t.Errorf("tap event dir = %d", dir)
+		}
+	}
+
+	conn := &chunkConn{}
+	tc := &tappedConn{Conn: conn, tap: tap, clock: fixedClock{}}
+
+	// Outbound: a BatchWriter over the tapped conn. Queue all cells
+	// behind an in-flight write by enqueueing from several goroutines so
+	// at least some Write calls carry multiple coalesced cells.
+	w := cell.NewBatchWriter(tc)
+	frame := make([]byte, cell.Size)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				if err := w.WriteFrame(frame); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	w.Close()
+
+	// Inbound: replay the written bytes through Read in ragged chunks —
+	// bigger than a cell, smaller than a cell, never aligned.
+	conn.mu.Lock()
+	conn.toRead = append([]byte(nil), conn.wrote.Bytes()...)
+	conn.chunks = []int{cell.Size + 100, 37, 3 * cell.Size, 200, 1 << 20}
+	conn.mu.Unlock()
+	buf := make([]byte, 64*1024)
+	for {
+		if _, err := tc.Read(buf); err != nil {
+			break
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if outEvents != n {
+		t.Errorf("outbound tap events = %d, want %d", outEvents, n)
+	}
+	if inEvents != n {
+		t.Errorf("inbound tap events = %d, want %d", inEvents, n)
+	}
+	if outEvents != inEvents {
+		t.Errorf("tap direction parity broken: %d out vs %d in", outEvents, inEvents)
+	}
+}

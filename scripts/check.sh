@@ -23,10 +23,16 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (cell, simnet, torclient, bento)"
-go test -race -count=1 ./internal/cell/ ./internal/simnet/ ./internal/torclient/ ./internal/bento/
+echo "==> go test -race (cell, simnet, torclient, bento, otr, relay, obs)"
+go test -race -count=1 ./internal/cell/ ./internal/simnet/ ./internal/torclient/ ./internal/bento/ \
+    ./internal/otr/ ./internal/relay/ ./internal/obs/
 
 echo "==> bench smoke (all benchmarks, 1 iteration)"
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "==> telemetry regression smoke (instrumented hot path must not allocate)"
+go test -count=1 -run='TestInstrumentedMicroAllocFree' ./internal/bench/
+go test -count=1 -run='TestMiddleHopForwardAllocFree' ./internal/relay/
+go test -count=1 -run='TestHotPathAllocFree' ./internal/obs/
 
 echo "All checks passed."
