@@ -8,15 +8,18 @@
 //	benchharness -exp figure5
 //
 // Experiments: table1, table2, figure5, chaos, scalability, ablations,
-// datapath, obs, all. The chaos experiment measures throughput retained
-// under injected faults (link loss, a relay crash, a Bento node outage,
-// a killed function) relative to a fault-free baseline. The datapath
-// experiment measures steady-state cell throughput through a 3-hop
-// circuit and writes BENCH_datapath.json so the perf trajectory is
+// datapath, obs, interp, all. The chaos experiment measures throughput
+// retained under injected faults (link loss, a relay crash, a Bento node
+// outage, a killed function) relative to a fault-free baseline. The
+// datapath experiment measures steady-state cell throughput through a
+// 3-hop circuit and writes BENCH_datapath.json so the perf trajectory is
 // recorded across changes. The obs experiment ablates the telemetry
 // layer (instrumented vs nil-registry runs) and writes BENCH_obs.json;
 // -stats attaches a registry to the chaos experiment and dumps its
-// dashboard at exit.
+// dashboard at exit. The interp experiment compares the bscript
+// tree-walking interpreter against the bytecode VM (compute-, call-, and
+// string-heavy workloads, the cached upload path, and the end-to-end
+// invoke latency) and writes BENCH_interp.json.
 package main
 
 import (
@@ -30,11 +33,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|scalability|ablations|datapath|obs|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|scalability|ablations|datapath|obs|interp|all")
 	full := flag.Bool("full", false, "run paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	benchOut := flag.String("benchout", "BENCH_datapath.json", "path for the datapath experiment's machine-readable result")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "path for the observability ablation's machine-readable result")
+	interpOut := flag.String("interpout", "BENCH_interp.json", "path for the interp engine comparison's machine-readable result")
 	stats := flag.Bool("stats", false, "attach a telemetry registry to the chaos experiment and dump its dashboard at exit")
 	flag.Parse()
 
@@ -174,6 +178,28 @@ func main() {
 		return nil
 	})
 
+	run("interp", func() error {
+		cfg := bench.DefaultInterpConfig()
+		cfg.Seed = *seed
+		if *full {
+			cfg.ComputeN = 1_000_000
+			cfg.FibN = 25
+			cfg.StringN = 200_000
+			cfg.Repeats = 10
+			cfg.InvokeReps = 20
+		}
+		res, err := bench.RunInterp(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if err := res.WriteJSONFile(*interpOut); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", *interpOut)
+		return nil
+	})
+
 	run("ablations", func() error {
 		sites, visits := 8, 4
 		paddings := []int{0, 256 * 1024, 1 << 20}
@@ -217,7 +243,7 @@ func main() {
 	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|scalability|ablations|datapath|obs|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|scalability|ablations|datapath|obs|interp|all\n", *exp)
 		os.Exit(2)
 	}
 	if statsReg != nil {

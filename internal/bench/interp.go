@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/functions"
+	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/testbed"
+)
+
+// InterpConfig sizes the bscript-engine experiment: the tree-walking
+// reference interpreter versus the bytecode VM on compute-, call-, and
+// string-heavy workloads, the upload path cold versus warm (the server's
+// program cache), and the end-to-end Bento invoke path under each engine.
+type InterpConfig struct {
+	// ComputeN is the iteration count of the arithmetic-loop workload.
+	ComputeN int64
+	// FibN is the argument to the naive recursive fib workload.
+	FibN int64
+	// StringN is the append count of the string-accumulation workload.
+	StringN int64
+	// Repeats is how many calls each micro measurement averages over.
+	Repeats int
+	// InvokeReps is how many end-to-end invocations are averaged per engine.
+	InvokeReps int
+	Seed       int64
+}
+
+// DefaultInterpConfig returns the quick configuration.
+func DefaultInterpConfig() InterpConfig {
+	return InterpConfig{
+		ComputeN:   100_000,
+		FibN:       21,
+		StringN:    20_000,
+		Repeats:    5,
+		InvokeReps: 8,
+		Seed:       1,
+	}
+}
+
+// InterpResult compares the two bscript engines. All times are wall-clock
+// nanoseconds per operation (one function call, one upload, or one
+// end-to-end invocation).
+type InterpResult struct {
+	ComputeTreeNs  int64   `json:"compute_tree_ns"`
+	ComputeVMNs    int64   `json:"compute_vm_ns"`
+	ComputeSpeedup float64 `json:"compute_speedup"`
+
+	FibTreeNs  int64   `json:"fib_tree_ns"`
+	FibVMNs    int64   `json:"fib_vm_ns"`
+	FibSpeedup float64 `json:"fib_speedup"`
+
+	StringTreeNs  int64   `json:"string_tree_ns"`
+	StringVMNs    int64   `json:"string_vm_ns"`
+	StringSpeedup float64 `json:"string_speedup"`
+
+	// Upload path: tree = lex+parse+walk, cold = lex+parse+compile+run,
+	// warm = run a cached Program (what re-uploads and watchdog restarts
+	// pay on the Bento server).
+	UploadTreeNs   int64   `json:"upload_tree_ns"`
+	UploadColdNs   int64   `json:"upload_cold_ns"`
+	UploadWarmNs   int64   `json:"upload_warm_ns"`
+	WarmUploadGain float64 `json:"warm_upload_gain_vs_tree"`
+	CacheHitsSaved int64   `json:"cache_compiles_skipped"`
+
+	// End-to-end Bento invoke of the compute workload through a full
+	// simulated deployment (spawn, upload, then timed invokes).
+	InvokeTreeNs  int64   `json:"invoke_tree_ns"`
+	InvokeVMNs    int64   `json:"invoke_vm_ns"`
+	InvokeSpeedup float64 `json:"invoke_speedup"`
+
+	ComputeN int64 `json:"compute_n"`
+	FibN     int64 `json:"fib_n"`
+	StringN  int64 `json:"string_n"`
+	Seed     int64 `json:"seed"`
+}
+
+// String renders the result table.
+func (r *InterpResult) String() string {
+	var b strings.Builder
+	b.WriteString("Interp: tree-walking interpreter vs bytecode VM (wall-clock)\n\n")
+	row := func(name string, tree, vm int64, speedup float64) {
+		fmt.Fprintf(&b, "  %-22s tree %12s   vm %12s   %5.2fx\n",
+			name, time.Duration(tree), time.Duration(vm), speedup)
+	}
+	row(fmt.Sprintf("compute (n=%d)", r.ComputeN), r.ComputeTreeNs, r.ComputeVMNs, r.ComputeSpeedup)
+	row(fmt.Sprintf("calls (fib %d)", r.FibN), r.FibTreeNs, r.FibVMNs, r.FibSpeedup)
+	row(fmt.Sprintf("strings (n=%d)", r.StringN), r.StringTreeNs, r.StringVMNs, r.StringSpeedup)
+	fmt.Fprintf(&b, "\nupload path (per upload):\n")
+	fmt.Fprintf(&b, "  tree walk:  %12s\n", time.Duration(r.UploadTreeNs))
+	fmt.Fprintf(&b, "  vm cold:    %12s  (lex+parse+compile+run)\n", time.Duration(r.UploadColdNs))
+	fmt.Fprintf(&b, "  vm warm:    %12s  (cached program, %.2fx vs tree)\n",
+		time.Duration(r.UploadWarmNs), r.WarmUploadGain)
+	if r.InvokeTreeNs > 0 {
+		fmt.Fprintf(&b, "\nend-to-end bento invoke (compute function):\n")
+		fmt.Fprintf(&b, "  tree engine: %12s\n", time.Duration(r.InvokeTreeNs))
+		fmt.Fprintf(&b, "  vm engine:   %12s  (%.2fx)\n", time.Duration(r.InvokeVMNs), r.InvokeSpeedup)
+	}
+	return b.String()
+}
+
+// WriteJSONFile records the result machine-readably so the perf
+// trajectory across PRs can be tracked.
+func (r *InterpResult) WriteJSONFile(path string) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// The three microbenchmark workloads. Each defines one function called
+// with the size parameter, so a single upload amortizes across timed
+// calls exactly like a deployed Bento function.
+const (
+	interpComputeSrc = `
+def compute(n):
+    total = 0
+    i = 0
+    while i < n:
+        total = total + i * 3 % 7 - (i % 2)
+        if total > 1000000:
+            total = 0
+        i += 1
+    return total
+`
+	interpFibSrc = `
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+`
+	interpStringSrc = `
+def build(n):
+    s = ""
+    i = 0
+    while i < n:
+        s = s + "0123456789abcdef"
+        i += 1
+    return len(s)
+`
+)
+
+// RunInterp measures both engines across the workload suite.
+func RunInterp(cfg InterpConfig) (*InterpResult, error) {
+	if cfg.ComputeN <= 0 || cfg.Repeats <= 0 {
+		return nil, fmt.Errorf("bench: bad interp config %+v", cfg)
+	}
+	res := &InterpResult{ComputeN: cfg.ComputeN, FibN: cfg.FibN, StringN: cfg.StringN, Seed: cfg.Seed}
+
+	type workload struct {
+		src  string
+		fn   string
+		arg  int64
+		tree *int64
+		vm   *int64
+		spd  *float64
+	}
+	for _, w := range []workload{
+		{interpComputeSrc, "compute", cfg.ComputeN, &res.ComputeTreeNs, &res.ComputeVMNs, &res.ComputeSpeedup},
+		{interpFibSrc, "fib", cfg.FibN, &res.FibTreeNs, &res.FibVMNs, &res.FibSpeedup},
+		{interpStringSrc, "build", cfg.StringN, &res.StringTreeNs, &res.StringVMNs, &res.StringSpeedup},
+	} {
+		tree, err := timeTreeCall(w.src, w.fn, w.arg, cfg.Repeats)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s on tree engine: %w", w.fn, err)
+		}
+		vm, err := timeVMCall(w.src, w.fn, w.arg, cfg.Repeats)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s on vm engine: %w", w.fn, err)
+		}
+		*w.tree, *w.vm = tree, vm
+		if vm > 0 {
+			*w.spd = float64(tree) / float64(vm)
+		}
+	}
+
+	if err := timeUploadPath(cfg, res); err != nil {
+		return nil, err
+	}
+	if cfg.InvokeReps > 0 {
+		if err := timeInvokeE2E(cfg, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// benchLimits is effectively unlimited: the budget is charged per call on
+// one long-lived machine, so it must cover every repeat.
+var benchLimits = interp.Limits{Instructions: 1 << 62, Memory: 1 << 40}
+
+// timeTreeCall uploads src into a tree-walking machine and times repeated
+// calls of fn(arg), returning the per-call average.
+func timeTreeCall(src, fn string, arg int64, repeats int) (int64, error) {
+	m := interp.NewMachine(benchLimits)
+	if err := m.Run(src); err != nil {
+		return 0, err
+	}
+	return timeCalls(m, fn, arg, repeats)
+}
+
+// timeVMCall compiles src, runs it on a fresh machine, and times repeated
+// calls of fn(arg) through the VM.
+func timeVMCall(src, fn string, arg int64, repeats int) (int64, error) {
+	m := interp.NewMachine(benchLimits)
+	prog, err := m.Compile(src)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.RunProgram(prog); err != nil {
+		return 0, err
+	}
+	return timeCalls(m, fn, arg, repeats)
+}
+
+func timeCalls(m *interp.Machine, fn string, arg int64, repeats int) (int64, error) {
+	// One untimed warm-up call.
+	if _, err := m.CallFunction(fn, interp.Int(arg)); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < repeats; i++ {
+		if _, err := m.CallFunction(fn, interp.Int(arg)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(repeats), nil
+}
+
+// timeUploadPath measures what one upload costs: the tree walk, a cold
+// compile+run, and a warm run of an already-cached Program — the Bento
+// server's steady state for re-uploads and watchdog restarts.
+func timeUploadPath(cfg InterpConfig, res *InterpResult) error {
+	src := interpComputeSrc
+	reps := cfg.Repeats * 20
+
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		m := interp.NewMachine(interp.Limits{})
+		if err := m.Run(src); err != nil {
+			return err
+		}
+	}
+	res.UploadTreeNs = time.Since(start).Nanoseconds() / int64(reps)
+
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		m := interp.NewMachine(interp.Limits{})
+		prog, err := m.Compile(src)
+		if err != nil {
+			return err
+		}
+		if err := m.RunProgram(prog); err != nil {
+			return err
+		}
+	}
+	res.UploadColdNs = time.Since(start).Nanoseconds() / int64(reps)
+
+	prog, err := interp.Compile(src)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		m := interp.NewMachine(interp.Limits{})
+		if err := m.RunProgram(prog); err != nil {
+			return err
+		}
+	}
+	res.UploadWarmNs = time.Since(start).Nanoseconds() / int64(reps)
+	res.CacheHitsSaved = int64(reps)
+	if res.UploadWarmNs > 0 {
+		res.WarmUploadGain = float64(res.UploadTreeNs) / float64(res.UploadWarmNs)
+	}
+	return nil
+}
+
+// timeInvokeE2E deploys the compute workload on a full simulated Bento
+// deployment under each engine and averages the wall-clock invoke
+// latency. The emulated network runs with near-zero delay so the
+// interpreter dominates.
+func timeInvokeE2E(cfg InterpConfig, res *InterpResult) error {
+	measure := func(engine string) (int64, error) {
+		w, err := testbed.New(testbed.Config{
+			Relays:      3,
+			BentoNodes:  1,
+			ClockScale:  0.0002,
+			LinkDelay:   time.Microsecond,
+			BentoEngine: engine,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		cli := w.NewBentoClient("meter", cfg.Seed)
+		conn, err := cli.Connect(w.BentoNode(0))
+		if err != nil {
+			return 0, err
+		}
+		defer conn.Close()
+		man := functions.DefaultManifest("compute", "python")
+		fn, err := functions.Deploy(conn, man, interpComputeSrc)
+		if err != nil {
+			return 0, err
+		}
+		defer fn.Shutdown()
+		n := cfg.ComputeN / 4 // keep e2e reps fast; still interpreter-bound
+		if _, _, err := fn.Invoke("compute", interp.Int(n)); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < cfg.InvokeReps; i++ {
+			if _, _, err := fn.Invoke("compute", interp.Int(n)); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Nanoseconds() / int64(cfg.InvokeReps), nil
+	}
+	tree, err := measure("tree")
+	if err != nil {
+		return fmt.Errorf("bench: e2e tree engine: %w", err)
+	}
+	vm, err := measure("")
+	if err != nil {
+		return fmt.Errorf("bench: e2e vm engine: %w", err)
+	}
+	res.InvokeTreeNs, res.InvokeVMNs = tree, vm
+	if vm > 0 {
+		res.InvokeSpeedup = float64(tree) / float64(vm)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/bento-nfv/bento/internal/dirauth"
 	"github.com/bento-nfv/bento/internal/enclave"
 	"github.com/bento-nfv/bento/internal/interp"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/policy"
 	"github.com/bento-nfv/bento/internal/relay"
 	"github.com/bento-nfv/bento/internal/simnet"
@@ -43,6 +44,7 @@ func exitPolicyWithBento(t testing.TB) *policy.ExitPolicy {
 func buildWorld(t testing.TB, nRelays, nBento int) *world {
 	t.Helper()
 	n := simnet.NewNetwork(simnet.NewClock(0.0005), 2*time.Millisecond)
+	n.SetObs(obs.NewRegistry()) // live telemetry, so tests can assert counters
 	auth, err := dirauth.NewAuthority()
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,8 @@ type serverMetrics struct {
 	invokeErrors     *obs.Counter
 	shutdowns        *obs.Counter
 	watchdogRestarts *obs.Counter // successful container revivals
+	progCacheHits    *obs.Counter // uploads served from the compiled-program cache
+	progCacheMisses  *obs.Counter // uploads that had to compile
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -30,6 +32,8 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		invokeErrors:     reg.Counter("bento.invoke_errors"),
 		shutdowns:        reg.Counter("bento.shutdowns"),
 		watchdogRestarts: reg.Counter("bento.watchdog_restarts"),
+		progCacheHits:    reg.Counter("bento.program_cache_hits"),
+		progCacheMisses:  reg.Counter("bento.program_cache_misses"),
 	}
 }
 

@@ -1,0 +1,100 @@
+package bento
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bento-nfv/bento/internal/interp"
+)
+
+// TestProgramCacheSkipsRecompilation pins the compile-once contract of the
+// server's program cache via telemetry: uploading the same source twice
+// compiles it exactly once, and a watchdog restart re-runs the cached
+// Program without touching the compiler either.
+func TestProgramCacheSkipsRecompilation(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	reg := w.net.Obs()
+	compiles := reg.Counter("interp.compiles")
+	hits := reg.Counter("bento.program_cache_hits")
+	misses := reg.Counter("bento.program_cache_misses")
+
+	cli := w.client(t, "alice", 310)
+	conn, err := cli.Connect(cli.Nodes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := conn.Spawn(restartManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+
+	if err := fn.Upload(statefulFunction); err != nil {
+		t.Fatal(err)
+	}
+	if compiles.Value() != 1 || misses.Value() != 1 || hits.Value() != 0 {
+		t.Fatalf("first upload: compiles=%d misses=%d hits=%d, want 1/1/0",
+			compiles.Value(), misses.Value(), hits.Value())
+	}
+
+	// Re-uploading byte-identical code is served from the cache: no
+	// lexing, parsing, or compiling happens at all.
+	if err := fn.Upload(statefulFunction); err != nil {
+		t.Fatal(err)
+	}
+	if compiles.Value() != 1 || hits.Value() != 1 {
+		t.Fatalf("re-upload: compiles=%d hits=%d, want compiles=1 hits=1",
+			compiles.Value(), hits.Value())
+	}
+
+	// A watchdog restart re-runs the last uploaded code on a fresh
+	// machine — also from the cache.
+	if _, _, err := fn.Invoke("setup", interp.Bytes("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fn.Invoke("burn"); !errors.Is(err, ErrRestarted) {
+		t.Fatalf("burn: %v, want ErrRestarted", err)
+	}
+	if compiles.Value() != 1 || hits.Value() != 2 {
+		t.Fatalf("after restart: compiles=%d hits=%d, want compiles=1 hits=2",
+			compiles.Value(), hits.Value())
+	}
+	if _, _, err := fn.Invoke("serve"); err != nil {
+		t.Fatalf("invoke after restart: %v", err)
+	}
+}
+
+// TestTreeEngineFallback verifies the Engine="tree" ablation knob still
+// runs uploads through the reference tree-walker (no cache traffic).
+func TestTreeEngineFallback(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	w.servers[0].cfg.Engine = "tree"
+	reg := w.net.Obs()
+
+	cli := w.client(t, "alice", 311)
+	conn, err := cli.Connect(cli.Nodes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := conn.Spawn(basicManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+	if err := fn.Upload("def ping():\n    return 42\n"); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := fn.Invoke("ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out
+	if n := reg.Counter("interp.compiles").Value(); n != 0 {
+		t.Fatalf("tree engine compiled %d programs, want 0", n)
+	}
+	if n := reg.Counter("bento.program_cache_misses").Value(); n != 0 {
+		t.Fatalf("tree engine took %d cache misses, want 0", n)
+	}
+}

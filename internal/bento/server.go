@@ -2,6 +2,7 @@ package bento
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -57,6 +58,11 @@ type ServerConfig struct {
 	IAS        *enclave.AttestationService
 	Bind       APIBinder
 	Stdout     io.Writer
+	// Engine selects the bscript execution engine for uploaded code:
+	// "" or "vm" compiles to bytecode and caches Programs by source hash
+	// (re-uploads and watchdog restarts skip lex/parse/compile); "tree"
+	// forces the reference tree-walker, for ablation and debugging.
+	Engine string
 }
 
 // Server is a running Bento server.
@@ -74,6 +80,9 @@ type Server struct {
 	shutdowns  map[string]*runningFunction // shutdown token -> fn
 	spawnKeys  map[string]*runningFunction // idempotency key -> fn
 	challenges map[string]bool             // outstanding single-use spawn puzzles
+
+	progMu    sync.Mutex
+	progCache map[[sha256.Size]byte]*interp.Program // source hash -> compiled program
 }
 
 // runningFunction is one spawned container plus its tokens. The container
@@ -149,6 +158,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		shutdowns:  make(map[string]*runningFunction),
 		spawnKeys:  make(map[string]*runningFunction),
 		challenges: make(map[string]bool),
+		progCache:  make(map[[sha256.Size]byte]*interp.Program),
 	}
 	if cfg.Tor != nil {
 		s.fw = stemfw.New(cfg.Tor)
@@ -527,6 +537,37 @@ func (s *Server) bindAPI(rf *runningFunction) {
 	}
 }
 
+// runCode executes function source in rf's container through the
+// configured engine. The default engine compiles to bytecode and caches
+// the Program by source hash, so re-uploading identical code — or
+// re-running it after a watchdog restart — skips lex/parse/compile
+// entirely. Programs are machine-independent, making the cache safe to
+// share across functions and containers. Compile (syntax) errors surface
+// exactly as the tree-walker would report them.
+func (s *Server) runCode(rf *runningFunction, code string) error {
+	if s.cfg.Engine == "tree" {
+		return rf.ctr().Run(code)
+	}
+	key := sha256.Sum256([]byte(code))
+	s.progMu.Lock()
+	prog, ok := s.progCache[key]
+	s.progMu.Unlock()
+	if ok {
+		s.om.progCacheHits.Inc()
+	} else {
+		s.om.progCacheMisses.Inc()
+		var err error
+		prog, err = rf.ctr().Machine().Compile(code)
+		if err != nil {
+			return err
+		}
+		s.progMu.Lock()
+		s.progCache[key] = prog
+		s.progMu.Unlock()
+	}
+	return rf.ctr().RunProgram(prog)
+}
+
 func (s *Server) handleUpload(req *request, send func(*response) error) error {
 	rf := s.lookup(req.InvokeToken)
 	if rf == nil {
@@ -545,7 +586,7 @@ func (s *Server) handleUpload(req *request, send func(*response) error) error {
 		code = pt
 	}
 	rf.runMu.Lock()
-	err := rf.ctr().Run(string(code))
+	err := s.runCode(rf, string(code))
 	if err == nil {
 		s.om.uploads.Inc()
 		rf.cmu.Lock()

@@ -68,7 +68,7 @@ func (s *Server) maybeRestart(rf *runningFunction, cause error) bool {
 	}
 	s.bindAPI(rf)
 	if code != "" {
-		if err := container.Run(code); err != nil {
+		if err := s.runCode(rf, code); err != nil {
 			// The code itself dies on a fresh machine; reviving again
 			// would loop. Leave the corpse for the next policy decision.
 			return false

@@ -143,15 +143,7 @@ func (m *Machine) eval(e expr, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		if obj, ok := base.(*Object); ok {
-			v, ok := obj.Attrs[ex.name]
-			if !ok {
-				return nil, runtimeErrf(ex.line, "object %s has no attribute %q", obj.Name, ex.name)
-			}
-			return v, nil
-		}
-		// Bound method on a builtin type.
-		return boundMethod{recv: base, name: ex.name}, nil
+		return m.attr(ex.line, base, ex.name)
 	case *callExpr:
 		fn, err := m.eval(ex.fn, env)
 		if err != nil {
@@ -171,10 +163,26 @@ func (m *Machine) eval(e expr, env *Env) (Value, error) {
 	}
 }
 
+// attr resolves base.name: an Object attribute, or a bound method on a
+// builtin type. Shared by both engines.
+func (m *Machine) attr(line int, base Value, name string) (Value, error) {
+	if obj, ok := base.(*Object); ok {
+		v, ok := obj.Attrs[name]
+		if !ok {
+			return nil, runtimeErrf(line, "object %s has no attribute %q", obj.Name, name)
+		}
+		return v, nil
+	}
+	// Bound method on a builtin type.
+	return boundMethod{recv: base, name: name}, nil
+}
+
 func (m *Machine) call(line int, fn Value, args []Value) (Value, error) {
 	switch f := fn.(type) {
 	case *Func:
 		return m.callFunc(f, args)
+	case *compiledFunc:
+		return m.callCompiled(f, args)
 	case *Builtin:
 		v, err := f.Fn(args)
 		if err != nil {

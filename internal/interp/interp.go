@@ -136,20 +136,27 @@ func (m *Machine) Run(src string) error {
 	return err
 }
 
-// CallFunction invokes a previously defined global function by name.
+// CallFunction invokes a previously defined global function by name. The
+// function may be a tree-walked *Func or a bytecode-compiled function;
+// both run under the same limits and error semantics.
 func (m *Machine) CallFunction(name string, args ...Value) (Value, error) {
 	v, ok := m.Globals.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("bscript: no function %q defined", name)
 	}
-	fn, ok := v.(*Func)
-	if !ok {
+	start := m.steps
+	switch fn := v.(type) {
+	case *Func:
+		v, err := m.callFunc(fn, args)
+		m.recordRun(start, err)
+		return v, err
+	case *compiledFunc:
+		v, err := m.callCompiled(fn, args)
+		m.recordRun(start, err)
+		return v, err
+	default:
 		return nil, fmt.Errorf("bscript: %q is a %s, not a function", name, v.Type())
 	}
-	start := m.steps
-	v, err := m.callFunc(fn, args)
-	m.recordRun(start, err)
-	return v, err
 }
 
 // step charges one instruction and checks the kill switch.
@@ -273,7 +280,7 @@ func (m *Machine) exec(s stmt, env *Env) (control, error) {
 			if err := m.step(st.line); err != nil {
 				return control{}, err
 			}
-			env.Set(st.name, item)
+			m.storeIdent(env, st.name, item)
 			ctl, err := m.execBlock(st.body, env)
 			if err != nil {
 				return control{}, err
@@ -318,7 +325,7 @@ func (m *Machine) exec(s stmt, env *Env) (control, error) {
 			return control{}, err
 		}
 		if st.name != "" {
-			env.Set(st.name, Str(rerr.Msg))
+			m.storeIdent(env, st.name, Str(rerr.Msg))
 		}
 		return m.execBlock(st.handler, env)
 	case *raiseStmt:
@@ -337,14 +344,7 @@ func (m *Machine) exec(s stmt, env *Env) (control, error) {
 		if err != nil {
 			return control{}, err
 		}
-		d, ok := base.(*Dict)
-		if !ok {
-			return control{}, runtimeErrf(st.line, "del requires a dict, got %s", base.Type())
-		}
-		if err := d.Delete(idx); err != nil {
-			return control{}, runtimeErrf(st.line, "%v", err)
-		}
-		return control{}, nil
+		return control{}, m.delIndex(st.line, base, idx)
 	default:
 		return control{}, runtimeErrf(s.stmtLine(), "unknown statement")
 	}
@@ -367,7 +367,7 @@ func (m *Machine) execAssign(st *assignStmt, env *Env) error {
 	}
 	switch t := st.target.(type) {
 	case *identExpr:
-		env.Set(t.name, value)
+		m.storeIdent(env, t.name, value)
 		return nil
 	case *indexExpr:
 		base, err := m.eval(t.base, env)
@@ -378,35 +378,88 @@ func (m *Machine) execAssign(st *assignStmt, env *Env) error {
 		if err != nil {
 			return err
 		}
-		switch b := base.(type) {
-		case *List:
-			i, ok := idx.(Int)
-			if !ok {
-				return runtimeErrf(st.line, "list index must be int")
-			}
-			n := int64(len(b.Elems))
-			if i < 0 {
-				i += Int(n)
-			}
-			if i < 0 || int64(i) >= n {
-				return runtimeErrf(st.line, "list index %d out of range", i)
-			}
-			b.Elems[i] = value
-			return nil
-		case *Dict:
-			if err := m.alloc(st.line, sizeOf(idx, map[Value]bool{})+16); err != nil {
-				return err
-			}
-			if err := b.Set(idx, value); err != nil {
-				return runtimeErrf(st.line, "%v", err)
-			}
-			return nil
-		default:
-			return runtimeErrf(st.line, "cannot index-assign into %s", base.Type())
-		}
+		return m.indexAssign(st.line, base, idx, value)
 	default:
 		return runtimeErrf(st.line, "bad assignment target")
 	}
+}
+
+// --- shared assignment/deletion semantics ------------------------------------
+//
+// Both engines (the tree-walker and the bytecode VM) route stores through
+// these helpers so error strings and memory accounting stay byte-identical.
+
+// storeIdent assigns name with Env.Set semantics, crediting the memory
+// estimate when a string/bytes binding is replaced: the old value becomes
+// garbage unless aliased elsewhere, and measure() remains the ground truth
+// either way.
+func (m *Machine) storeIdent(env *Env, name string, v Value) {
+	if old, ok := env.Lookup(name); ok {
+		m.creditRebind(old, v)
+	}
+	env.Set(name, v)
+}
+
+// creditRebind subtracts the estimated size of a replaced Str/Bytes value
+// from the running allocation delta. Content-identical rebinds (s = s) get
+// no credit so repeated self-assignment cannot drive the estimate negative.
+func (m *Machine) creditRebind(old, v Value) {
+	switch o := old.(type) {
+	case Str:
+		if n, ok := v.(Str); ok && o == n {
+			return
+		}
+		m.memDelta -= 16 + int64(len(o))
+	case Bytes:
+		if n, ok := v.(Bytes); ok && string(o) == string(n) {
+			return
+		}
+		m.memDelta -= 16 + int64(len(o))
+	}
+}
+
+// indexAssign stores value at base[idx]. Note the store path's error
+// strings intentionally differ from the read path's (m.index): they
+// predate it and scripts may match on them.
+func (m *Machine) indexAssign(line int, base, idx, value Value) error {
+	switch b := base.(type) {
+	case *List:
+		i, ok := idx.(Int)
+		if !ok {
+			return runtimeErrf(line, "list index must be int")
+		}
+		n := int64(len(b.Elems))
+		if i < 0 {
+			i += Int(n)
+		}
+		if i < 0 || int64(i) >= n {
+			return runtimeErrf(line, "list index %d out of range", i)
+		}
+		b.Elems[i] = value
+		return nil
+	case *Dict:
+		if err := m.alloc(line, sizeOf(idx, map[Value]bool{})+16); err != nil {
+			return err
+		}
+		if err := b.Set(idx, value); err != nil {
+			return runtimeErrf(line, "%v", err)
+		}
+		return nil
+	default:
+		return runtimeErrf(line, "cannot index-assign into %s", base.Type())
+	}
+}
+
+// delIndex implements `del base[idx]`.
+func (m *Machine) delIndex(line int, base, idx Value) error {
+	d, ok := base.(*Dict)
+	if !ok {
+		return runtimeErrf(line, "del requires a dict, got %s", base.Type())
+	}
+	if err := d.Delete(idx); err != nil {
+		return runtimeErrf(line, "%v", err)
+	}
+	return nil
 }
 
 func (m *Machine) evalTarget(e expr, env *Env) (Value, error) {

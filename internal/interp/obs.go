@@ -18,6 +18,8 @@ type machineMetrics struct {
 	budgetExhausted *obs.Counter
 	killed          *obs.Counter
 	memExceeded     *obs.Counter
+	compiles        *obs.Counter   // successful bytecode compilations
+	compileNanos    *obs.Histogram // wall time of each compilation
 }
 
 // SetObs attaches (or, with a nil registry, detaches) telemetry. The
@@ -36,7 +38,17 @@ func (m *Machine) SetObs(reg *obs.Registry) {
 		budgetExhausted: reg.Counter("interp.budget_exhausted"),
 		killed:          reg.Counter("interp.killed"),
 		memExceeded:     reg.Counter("interp.mem_exceeded"),
+		compiles:        reg.Counter("interp.compiles"),
+		compileNanos:    reg.Histogram("interp.compile_ns", obs.LatencyBuckets),
 	}
+}
+
+// recordCompile accounts one successful bytecode compilation. A cache-warm
+// invoke path performs zero of these — the Bento server's program-cache
+// test pins that down.
+func (m *Machine) recordCompile(nanos int64) {
+	m.obs.compiles.Inc()
+	m.obs.compileNanos.Observe(nanos)
 }
 
 // recordRun accounts one top-level execution (Run or CallFunction).

@@ -1,0 +1,182 @@
+package interp
+
+// Bytecode representation for the bscript VM.
+//
+// A Program is the machine-independent result of compiling one source
+// text: a top-level code object plus a code object (or retained AST, for
+// the tree fallback) for every function it defines. Programs hold no
+// environment or machine state, so a single Program may be cached and
+// executed on any number of Machines concurrently — that is what lets the
+// Bento server key compiled programs by source hash and reuse them across
+// re-uploads and watchdog respawns.
+
+// Opcodes. Operands a/b are opcode-specific; line is the source line used
+// for errors; refund is the number of batched budget charges that had not
+// yet been "earned" when this instruction runs (see compile.go).
+const (
+	opCharge      uint8 = iota // a: charge a instructions (basic-block batch)
+	opConst                    // a: push consts[a]
+	opLoadGlobal               // a: push global names[a], else name error
+	opStoreGlobal              // a: pop, store to global names[a]
+	opDefGlobal                // a: name index, b: const index (compiled function)
+	opDefTree                  // a: treeDefs index (tree-walk fallback function)
+	opLoadLocal                // a: slot; falls back to globals when unset
+	opStoreLocal               // a: slot; falls back to globals when unset there
+	opCheckLocal               // a: slot; name error if unset here and in globals
+	opAppendLocal              // a: slot; pop chunk, slot += chunk (accumulator)
+	opJump                     // a: target pc
+	opJumpIfFalse              // a: target pc; pops condition
+	opAndJump                  // a: target pc; jump keeping lhs if falsy, else pop
+	opOrJump                   // a: target pc; jump keeping lhs if truthy, else pop
+	opNot                      // replace top with Bool(!Truthy(top))
+	opNeg                      // replace top with -top (int only)
+	opBinop                    // a: binop code; pops rhs, lhs, pushes result
+	opSwap                     // swap the top two stack values
+	opPop                      // drop the top of stack
+	opIndex                    // pops idx, base; pushes base[idx]
+	opStoreIndex               // pops idx, base, value; base[idx] = value
+	opDelIndex                 // pops idx, base; del base[idx]
+	opSlice                    // a: bit0 hasLo, bit1 hasHi; pops bounds, base
+	opCheckSlice               // error unless the top of stack is an Int
+	opAttr                     // a: name index; replace top with top.name
+	opCall                     // a: argc; pops args and callee, pushes result
+	opMakeList                 // a: element count
+	opMakeDict                 // a: pair count
+	opIterNew                  // replace top with an iterator over it
+	opIterNext                 // push next item, or pop iterator and jump to a
+	opTryPush                  // a: handler pc, b: 1 if "except ... as name"
+	opTryPop                   // discard the innermost handler
+	opRaise                    // pop value, raise RuntimeError(Repr(value))
+	opReturn                   // pop value and return it from the frame
+	opReturnNone               // return None from the frame
+
+	// Superinstructions, fused by the peephole pass (see peephole in
+	// compile.go). Each replaces an adjacent sequence whose error-capable
+	// members share one refund, so batched-budget parity is unaffected.
+	opBinopConst    // a: const idx (rhs), b: binop code; lhs on stack
+	opBinopLocal    // a: slot (rhs), b: binop code; lhs on stack
+	opBinopStore    // a: store slot, b: binop code; pops rhs, lhs
+	opCmpJump       // a: target, b: binop code; pops rhs, lhs; jump if falsy
+	opCmpConstJump  // a: target, b: binop code, c: const idx (rhs); pops lhs
+	opCmpLocalJump  // a: target, b: binop code, c: slot (rhs); pops lhs
+	opIncLocalConst // a: slot, b: const idx; slot += consts[b], no stack use
+)
+
+// Binary operator codes for opBinop's a operand.
+const (
+	bopAdd int32 = iota
+	bopSub
+	bopMul
+	bopFloorDiv
+	bopMod
+	bopEq
+	bopNe
+	bopLt
+	bopLe
+	bopGt
+	bopGe
+	bopIn
+)
+
+// binopNames maps binop codes back to the tree-walker's operator strings,
+// for the m.binop fallback path.
+var binopNames = [...]string{"+", "-", "*", "//", "%", "==", "!=", "<", "<=", ">", ">=", "in"}
+
+var binopCodes = map[string]int32{
+	"+": bopAdd, "-": bopSub, "*": bopMul, "//": bopFloorDiv, "%": bopMod,
+	"==": bopEq, "!=": bopNe, "<": bopLt, "<=": bopLe, ">": bopGt, ">=": bopGe,
+	"in": bopIn,
+}
+
+// Slice flag bits for opSlice's a operand.
+const (
+	sliceHasLo int32 = 1 << iota
+	sliceHasHi
+)
+
+// instr is one VM instruction. 24 bytes; code arrays stay cache-friendly.
+// Jump targets always live in a (so patching and peephole remapping treat
+// every branching opcode uniformly); c is a third operand used only by
+// fused superinstructions.
+type instr struct {
+	op     uint8
+	a      int32
+	b      int32
+	c      int32
+	line   int32
+	refund int32
+}
+
+// funcProto is one compiled code object: the top-level program body or a
+// single function. It is immutable after compilation.
+type funcProto struct {
+	name      string
+	params    []string
+	code      []instr
+	consts    []Value
+	names     []string   // global/attr name pool
+	slotNames []string   // slot index -> name, for global fallback and errors
+	treeDefs  []*defStmt // AST retained for tree-fallback function defs
+	numSlots  int
+	maxStack  int
+}
+
+// Program is a compiled bscript program.
+type Program struct {
+	top *funcProto
+}
+
+// compiledFunc is a bytecode-compiled user function value. Its closure is
+// by construction the defining machine's global scope (the compiler only
+// compiles functions whose bodies contain no nested defs), so the value
+// itself is stateless and shareable across machines.
+type compiledFunc struct {
+	proto *funcProto
+}
+
+func (*compiledFunc) Type() string { return "function" }
+
+// vmIter adapts the tree-walker's pull iterators to a stack value so for
+// loops can keep their iterator on the operand stack. Never visible to
+// scripts.
+type vmIter struct {
+	next func() (Value, error)
+}
+
+func (*vmIter) Type() string { return "iterator" }
+
+// strAccum is the VM's string/bytes accumulator: a capacity-doubling
+// buffer standing in for a Str or Bytes local while a `s = s + chunk`
+// loop runs, so each append costs amortized O(len(chunk)) instead of
+// O(len(s)). It only ever lives in a frame's local slots — never in an
+// Env, so measure() (which walks globals) sees exactly what the
+// tree-walker would. Loads materialize (and cache) the real value.
+type strAccum struct {
+	buf     []byte
+	isBytes bool
+	cached  Value
+}
+
+func (*strAccum) Type() string { return "str" }
+
+// value materializes the accumulated string, caching until the next append.
+func (a *strAccum) value() Value {
+	if a.cached == nil {
+		if a.isBytes {
+			b := make([]byte, len(a.buf))
+			copy(b, a.buf)
+			a.cached = Bytes(b)
+		} else {
+			a.cached = Str(a.buf)
+		}
+	}
+	return a.cached
+}
+
+// materialize converts slot-internal representations to real values.
+func materialize(v Value) Value {
+	if a, ok := v.(*strAccum); ok {
+		return a.value()
+	}
+	return v
+}

@@ -166,6 +166,8 @@ func Repr(v Value) string {
 		return fmt.Sprintf("range(%d, %d)", x.Start, x.Stop)
 	case *Func:
 		return fmt.Sprintf("<function %s>", x.Name)
+	case *compiledFunc:
+		return fmt.Sprintf("<function %s>", x.proto.name)
 	case *Builtin:
 		return fmt.Sprintf("<builtin %s>", x.Name)
 	case *Object:

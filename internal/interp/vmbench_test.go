@@ -1,0 +1,54 @@
+package interp
+
+import "testing"
+
+// Engine benchmarks: the compute-heavy workload mirrors
+// internal/bench/interp.go so `go test -bench` and the harness agree.
+
+const benchComputeSrc = `
+def compute(n):
+    total = 0
+    i = 0
+    while i < n:
+        total = total + i * 3 % 7 - (i % 2)
+        if total > 1000000:
+            total = 0
+        i += 1
+    return total
+`
+
+func benchMachineVM(b *testing.B, src string) *Machine {
+	b.Helper()
+	m := NewMachine(Limits{Instructions: 1 << 62, Memory: 1 << 40})
+	prog, err := m.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.RunProgram(prog); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkVMCompute(b *testing.B) {
+	m := benchMachineVM(b, benchComputeSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CallFunction("compute", Int(10_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeCompute(b *testing.B) {
+	m := NewMachine(Limits{Instructions: 1 << 62, Memory: 1 << 40})
+	if err := m.Run(benchComputeSrc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CallFunction("compute", Int(10_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -295,6 +295,11 @@ func (c *Container) Mediate(call string, fn interp.BuiltinFn) interp.BuiltinFn {
 // Run executes function source code in the container.
 func (c *Container) Run(src string) error { return c.machine.Run(src) }
 
+// RunProgram executes a pre-compiled bscript program in the container's
+// machine. Programs are machine-independent, so the Bento server caches
+// them by source hash and reuses one Program across containers.
+func (c *Container) RunProgram(p *interp.Program) error { return c.machine.RunProgram(p) }
+
 // Call invokes a defined function.
 func (c *Container) Call(name string, args ...interp.Value) (interp.Value, error) {
 	return c.machine.CallFunction(name, args...)

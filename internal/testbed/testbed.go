@@ -46,6 +46,10 @@ type Config struct {
 	// starts, so every layer registers its metrics and spans there. The
 	// registry's clock is rebound to the deployment's virtual clock.
 	Obs *obs.Registry
+	// BentoEngine selects the bscript engine for Bento servers ("" = the
+	// default bytecode VM, "tree" = reference tree-walker); the interp
+	// benchmark uses it to compare the two end to end.
+	BentoEngine string
 }
 
 // World is a running deployment.
@@ -169,6 +173,7 @@ func New(cfg Config) (*World, error) {
 			Platform:   platform,
 			IAS:        ias,
 			Bind:       functions.StandardBinder(),
+			Engine:     cfg.BentoEngine,
 		})
 		if err != nil {
 			w.Close()

@@ -23,9 +23,9 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (cell, simnet, torclient, bento, otr, relay, obs)"
+echo "==> go test -race (cell, simnet, torclient, bento, otr, relay, obs, interp)"
 go test -race -count=1 ./internal/cell/ ./internal/simnet/ ./internal/torclient/ ./internal/bento/ \
-    ./internal/otr/ ./internal/relay/ ./internal/obs/
+    ./internal/otr/ ./internal/relay/ ./internal/obs/ ./internal/interp/
 
 echo "==> bench smoke (all benchmarks, 1 iteration)"
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -34,5 +34,11 @@ echo "==> telemetry regression smoke (instrumented hot path must not allocate)"
 go test -count=1 -run='TestInstrumentedMicroAllocFree' ./internal/bench/
 go test -count=1 -run='TestMiddleHopForwardAllocFree' ./internal/relay/
 go test -count=1 -run='TestHotPathAllocFree' ./internal/obs/
+
+echo "==> interpreter regression smoke (VM loop must not allocate per iteration)"
+go test -count=1 -run='TestVMLoopAllocFree' ./internal/interp/
+
+echo "==> engine parity fuzz smoke (tree-walker vs bytecode VM)"
+go test -run='^$' -fuzz='^FuzzEngineParity$' -fuzztime=5s ./internal/interp/
 
 echo "All checks passed."
