@@ -7,10 +7,15 @@
 //	benchharness -exp table1 -full   # paper-scale Table 1 (slow)
 //	benchharness -exp figure5
 //
-// Experiments: table1, table2, figure5, chaos, scalability, ablations,
-// datapath, obs, interp, all. The chaos experiment measures throughput
-// retained under injected faults (link loss, a relay crash, a Bento node
-// outage, a killed function) relative to a fault-free baseline. The
+// Experiments: table1, table2, figure5, chaos, fleet, scalability,
+// ablations, datapath, obs, interp, all. The chaos experiment measures
+// throughput retained under injected faults (link loss, a relay crash, a
+// Bento node outage, a killed function) relative to a fault-free
+// baseline. The fleet experiment puts a 3-replica fleet under the
+// declarative fleet controller, kills a relay, partitions another, and
+// crash-loops a third replica, measuring virtual time-to-reconverge per
+// fault and the client-visible success rate (target: zero errors while
+// the fleet reports converged); it writes BENCH_fleet.json. The
 // datapath experiment measures steady-state cell throughput through a
 // 3-hop circuit and writes BENCH_datapath.json so the perf trajectory is
 // recorded across changes. The obs experiment ablates the telemetry
@@ -33,12 +38,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|scalability|ablations|datapath|obs|interp|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|fleet|scalability|ablations|datapath|obs|interp|all")
 	full := flag.Bool("full", false, "run paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	benchOut := flag.String("benchout", "BENCH_datapath.json", "path for the datapath experiment's machine-readable result")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "path for the observability ablation's machine-readable result")
 	interpOut := flag.String("interpout", "BENCH_interp.json", "path for the interp engine comparison's machine-readable result")
+	fleetOut := flag.String("fleetout", "BENCH_fleet.json", "path for the fleet reconciliation experiment's machine-readable result")
 	stats := flag.Bool("stats", false, "attach a telemetry registry to the chaos experiment and dump its dashboard at exit")
 	flag.Parse()
 
@@ -124,6 +130,27 @@ func main() {
 			return err
 		}
 		fmt.Println(res)
+		return nil
+	})
+
+	run("fleet", func() error {
+		cfg := bench.DefaultFleetBenchConfig()
+		cfg.Seed = *seed
+		cfg.Obs = statsReg
+		if *full {
+			cfg.Clients = 12
+			cfg.FileSize = 64 << 10
+			cfg.Tail = 10 * time.Second
+		}
+		res, err := bench.RunFleetBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if err := res.WriteJSONFile(*fleetOut); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", *fleetOut)
 		return nil
 	})
 
@@ -243,7 +270,7 @@ func main() {
 	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|scalability|ablations|datapath|obs|interp|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|fleet|scalability|ablations|datapath|obs|interp|all\n", *exp)
 		os.Exit(2)
 	}
 	if statsReg != nil {

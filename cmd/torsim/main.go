@@ -1,7 +1,8 @@
 // Command torsim boots the emulated Tor overlay and runs a self-test:
 // it builds circuits, opens exit streams, exercises a hidden-service
-// rendezvous and a Bento function round trip, and prints the resulting
-// consensus and timing summary. With -stats it attaches the telemetry
+// rendezvous and a Bento function round trip, converges a 2-replica
+// fleet under the declarative fleet controller, and prints the
+// resulting consensus and timing summary. With -stats it attaches the telemetry
 // registry to the whole deployment and dumps the live dashboard —
 // per-component counters, latency histograms, and the slowest trace
 // spans — at exit.
@@ -19,8 +20,10 @@ import (
 	"io"
 	"net"
 	"os"
+	"time"
 
 	"github.com/bento-nfv/bento/internal/bento"
+	"github.com/bento-nfv/bento/internal/fleet"
 	"github.com/bento-nfv/bento/internal/hs"
 	"github.com/bento-nfv/bento/internal/interp"
 	"github.com/bento-nfv/bento/internal/obs"
@@ -146,6 +149,53 @@ func main() {
 		sess.Close()
 		fmt.Printf("bento function on %s: spawn+upload+invoke OK in %v virtual\n",
 			node.Nickname, clock.Now()-t0)
+	}
+
+	// 4. Fleet controller: declare a replicated function and let the
+	// reconciler place it across the Bento nodes.
+	if *bentoNodes >= 2 {
+		ctrl, err := w.NewFleetController("selftest-fleet", fleet.Config{Seed: 4})
+		if err != nil {
+			fail("fleet controller: %v", err)
+		}
+		defer ctrl.Close()
+		t0 = clock.Now()
+		err = ctrl.Apply(&fleet.Spec{
+			Name:     "selftest-fleet",
+			Replicas: 2,
+			Manifest: &policy.Manifest{
+				Name:         "selftest-fleet",
+				Image:        "python",
+				Memory:       4 << 20,
+				Instructions: 1_000_000,
+			},
+			Source:   "def ping(x):\n    return x + 1\n\ndef health():\n    return 1\n",
+			HealthFn: "health",
+		})
+		if err != nil {
+			fail("fleet apply: %v", err)
+		}
+		if err := ctrl.WaitConverged(60 * time.Second); err != nil {
+			fail("fleet convergence: %v", err)
+		}
+		convTime := clock.Now() - t0
+		fcli := w.NewBentoClient("selftest-fleet-client", 5)
+		var nodes []string
+		for _, ep := range ctrl.Endpoints() {
+			fsess := fcli.NewSession(ep.Node, bento.SessionConfig{})
+			ffn := fsess.Attach(ep.InvokeToken)
+			_, result, err := ffn.Invoke("ping", interp.Int(41))
+			if err != nil {
+				fail("fleet invoke on %s: %v", ep.Node.Nickname, err)
+			}
+			if got, ok := result.(interp.Int); !ok || got != 42 {
+				fail("fleet invoke on %s returned %v, want 42", ep.Node.Nickname, result)
+			}
+			fsess.Close()
+			nodes = append(nodes, ep.Node.Nickname)
+		}
+		fmt.Printf("fleet: %d replicas converged on %v in %v virtual, all replicas answering\n",
+			len(nodes), nodes, convTime)
 	}
 
 	fmt.Println("\nself-test passed")

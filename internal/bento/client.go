@@ -74,6 +74,12 @@ var ErrTransport = errors.New("bento: transport failure")
 // the invocation may simply be retried.
 var ErrRestarted = errors.New("bento: function restarted by server")
 
+// ErrPermanentFailure wraps errors for which the server reported the
+// function permanently failed: its restart-storm guard gave up on a
+// crash-looping function, so retries against this token cannot succeed.
+// A control plane seeing it should replace the replica.
+var ErrPermanentFailure = errors.New("bento: function permanently failed")
+
 // Connect reaches the Bento server co-resident with the given relay by
 // building a circuit that exits at that relay and connecting to the
 // server via localhost (the §5 deployment mode that needs no changes to
@@ -163,6 +169,9 @@ func (co *Conn) roundTrip(req *request, onData func([]byte)) (*response, error) 
 				onData(payload)
 			}
 		case frameError:
+			if resp.PermFailed {
+				return &resp, fmt.Errorf("%w: %s", ErrPermanentFailure, resp.Error)
+			}
 			if resp.Restarted {
 				return &resp, fmt.Errorf("%w: %s", ErrRestarted, resp.Error)
 			}
@@ -367,6 +376,9 @@ func (f *Function) InvokeStream(fn string, args []interp.Value, onData func([]by
 		return nil, err
 	}
 	if resp.Error != "" {
+		if resp.PermFailed {
+			return nil, fmt.Errorf("%w: %s", ErrPermanentFailure, resp.Error)
+		}
 		if resp.Restarted {
 			// The server's watchdog already revived the function; the
 			// same token works, so the caller may just try again.

@@ -18,6 +18,7 @@ type serverMetrics struct {
 	invokeErrors     *obs.Counter
 	shutdowns        *obs.Counter
 	watchdogRestarts *obs.Counter // successful container revivals
+	restartStorms    *obs.Counter // crash-loops the storm guard gave up on
 	progCacheHits    *obs.Counter // uploads served from the compiled-program cache
 	progCacheMisses  *obs.Counter // uploads that had to compile
 }
@@ -32,6 +33,7 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		invokeErrors:     reg.Counter("bento.invoke_errors"),
 		shutdowns:        reg.Counter("bento.shutdowns"),
 		watchdogRestarts: reg.Counter("bento.watchdog_restarts"),
+		restartStorms:    reg.Counter("bento.watchdog_restart_storms"),
 		progCacheHits:    reg.Counter("bento.program_cache_hits"),
 		progCacheMisses:  reg.Counter("bento.program_cache_misses"),
 	}

@@ -91,6 +91,11 @@ type response struct {
 	// function died but the server's watchdog brought it back: the same
 	// tokens remain valid and the invocation may be retried.
 	Restarted bool `json:"restarted,omitempty"`
+	// PermFailed, on a done frame carrying an error, tells the client the
+	// restart-storm guard declared the function permanently failed:
+	// retrying this token is futile, and a control plane should replace
+	// the replica instead.
+	PermFailed bool `json:"perm_failed,omitempty"`
 }
 
 // wireValu is the JSON encoding of an interp.Value crossing the protocol.

@@ -94,11 +94,13 @@ type runningFunction struct {
 	man       *policy.Manifest
 	spawnKey  string
 
-	cmu       sync.Mutex
-	container *sandbox.Container
-	stem      *stemfw.Session
-	code      string // last successfully uploaded source, re-run on restart
-	restarts  int
+	cmu          sync.Mutex
+	container    *sandbox.Container
+	stem         *stemfw.Session
+	code         string // last successfully uploaded source, re-run on restart
+	restarts     int
+	restartTimes []time.Duration // revival times inside the storm window
+	permFailed   bool            // restart-storm guard gave up; no more revivals
 
 	runMu  sync.Mutex // one invocation at a time
 	emitMu sync.Mutex
@@ -115,6 +117,12 @@ func (rf *runningFunction) stemSession() *stemfw.Session {
 	rf.cmu.Lock()
 	defer rf.cmu.Unlock()
 	return rf.stem
+}
+
+func (rf *runningFunction) permanentlyFailed() bool {
+	rf.cmu.Lock()
+	defer rf.cmu.Unlock()
+	return rf.permFailed
 }
 
 // setEmit installs (or clears) the active invocation's data sink.
@@ -601,7 +609,8 @@ func (s *Server) handleUpload(req *request, send func(*response) error) error {
 	}
 	rf.runMu.Unlock()
 	if err != nil {
-		return send(&response{Type: frameError, Error: err.Error(), Restarted: restarted})
+		return send(&response{Type: frameError, Error: err.Error(), Restarted: restarted,
+			PermFailed: rf.permanentlyFailed()})
 	}
 	return send(&response{Type: frameOK})
 }
@@ -639,6 +648,7 @@ func (s *Server) handleInvoke(req *request, send func(*response) error) error {
 	done := &response{Type: frameDone, Restarted: restarted}
 	if err != nil {
 		done.Error = err.Error()
+		done.PermFailed = rf.permanentlyFailed()
 	} else if result != nil {
 		w, werr := encodeValue(result)
 		if werr == nil {

@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +42,10 @@ type SessionConfig struct {
 	// exceeding it counts as a transport failure and is retried on a
 	// fresh connection (default 2min virtual).
 	OpDeadline time.Duration
+	// Seed seeds the retry jitter, so two runs with the same seed and
+	// fault pattern back off identically — deterministic experiments on
+	// the virtual clock. Zero takes 1.
+	Seed int64
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -56,6 +61,9 @@ func (c SessionConfig) withDefaults() SessionConfig {
 	if c.OpDeadline <= 0 {
 		c.OpDeadline = 2 * time.Minute
 	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	return c
 }
 
@@ -66,6 +74,9 @@ type Session struct {
 	node   *dirauth.Descriptor
 	cfg    SessionConfig
 
+	rngMu sync.Mutex
+	rng   *mrand.Rand // retry jitter; seeded for reproducibility
+
 	mu     sync.Mutex
 	conn   *Conn
 	closed bool
@@ -74,7 +85,13 @@ type Session struct {
 // NewSession creates a session to the given node. No connection is made
 // until the first operation needs one.
 func (c *Client) NewSession(node *dirauth.Descriptor, cfg SessionConfig) *Session {
-	return &Session{client: c, node: node, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	return &Session{
+		client: c,
+		node:   node,
+		cfg:    cfg,
+		rng:    mrand.New(mrand.NewSource(cfg.Seed)),
+	}
 }
 
 // Node returns the descriptor of the session's Bento node.
@@ -140,15 +157,41 @@ func (s *Session) withRetry(opName string, op func(*Conn) error) error {
 	return err
 }
 
+// retryBackoff computes the wait before retry attempt n (n >= 1):
+// bounded exponential growth from BaseBackoff to MaxBackoff, with the
+// upper half of each step drawn uniformly from the session's seeded RNG
+// (half-jitter). Jitter decorrelates retry storms — many sessions hit by
+// the same fault spread their reconnects out instead of stampeding the
+// recovering node in lockstep — while the floor of ceil/2 keeps every
+// wait meaningfully long.
+func (s *Session) retryBackoff(attempt int) time.Duration {
+	ceil := s.cfg.BaseBackoff
+	for i := 1; i < attempt && ceil < s.cfg.MaxBackoff; i++ {
+		ceil *= 2
+	}
+	if ceil > s.cfg.MaxBackoff {
+		ceil = s.cfg.MaxBackoff
+	}
+	half := ceil / 2
+	if half <= 0 {
+		return ceil
+	}
+	s.rngMu.Lock()
+	j := time.Duration(s.rng.Int63n(int64(half) + 1))
+	s.rngMu.Unlock()
+	return half + j
+}
+
 func (s *Session) withRetryInner(reg *obs.Registry, opName string, op func(*Conn) error) error {
 	clock := s.client.Tor.Clock()
-	backoff := s.cfg.BaseBackoff
+	backoffHist := reg.Histogram("bento.session_retry_backoff_ms", obs.ExpBuckets(1, 2, 18))
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			reg.Counter("bento.session_retries").Inc()
+			backoff := s.retryBackoff(attempt)
+			backoffHist.Observe(backoff.Milliseconds())
 			clock.Sleep(backoff)
-			backoff = min(backoff*2, s.cfg.MaxBackoff)
 		}
 		co, err := s.ensure()
 		if err != nil {
@@ -213,7 +256,16 @@ func (s *Session) Attest() (*enclave.Report, error) {
 // key, so a retry whose predecessor actually reached the server replays
 // the original tokens instead of leaking a second container.
 func (s *Session) Spawn(man *policy.Manifest) (*SessionFunction, error) {
-	key := newSpawnKey()
+	return s.SpawnWithKey(man, newSpawnKey())
+}
+
+// SpawnWithKey spawns with a caller-chosen idempotency key. Unlike
+// Spawn's per-call random key, a deterministic key lets a control plane
+// make spawn idempotent across its own retries: if a whole Spawn call
+// dies with its fate unknown (say, a partition ate the response), calling
+// again later with the same key adopts the function the first attempt
+// created instead of leaking a duplicate container.
+func (s *Session) SpawnWithKey(man *policy.Manifest, key string) (*SessionFunction, error) {
 	var fn *Function
 	err := s.withRetry("spawn", func(co *Conn) error {
 		f, err := co.SpawnKeyed(man, key)

@@ -222,3 +222,122 @@ func TestSessionSurvivesNodeCrashRestart(t *testing.T) {
 		t.Fatalf("state across crash = %q, want %q", out, "durable")
 	}
 }
+
+// TestWatchdogRestartStormGivesUp drives a function through repeated
+// kill/revive cycles fast enough to trip the restart-storm guard: after
+// restartStormMax revivals inside the sliding window the watchdog
+// declares the function permanently failed, clients see
+// ErrPermanentFailure (the signal a fleet controller replaces on), and
+// the state is sticky.
+func TestWatchdogRestartStormGivesUp(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	cli := w.client(t, "alice", 305)
+	conn, err := cli.Connect(cli.Nodes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fn, err := conn.Spawn(restartManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fn.Shutdown()
+	if err := fn.Upload(statefulFunction); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each kill+invoke is one watchdog revival, all within the storm
+	// window in virtual time.
+	for i := 0; i < restartStormMax; i++ {
+		if !w.servers[0].KillFunction(fn.InvokeToken()) {
+			t.Fatal("KillFunction: unknown token")
+		}
+		if _, _, err := fn.Invoke("serve"); !errors.Is(err, ErrRestarted) {
+			t.Fatalf("kill %d: invoke returned %v, want ErrRestarted", i, err)
+		}
+	}
+	if got := w.servers[0].FunctionRestarts(fn.InvokeToken()); got != restartStormMax {
+		t.Fatalf("FunctionRestarts = %d, want %d", got, restartStormMax)
+	}
+
+	// One more crash inside the window: the guard must refuse to revive.
+	if !w.servers[0].KillFunction(fn.InvokeToken()) {
+		t.Fatal("KillFunction: unknown token")
+	}
+	if _, _, err := fn.Invoke("serve"); !errors.Is(err, ErrPermanentFailure) {
+		t.Fatalf("storm invoke returned %v, want ErrPermanentFailure", err)
+	}
+	// Sticky: the corpse stays dead, status and telemetry agree.
+	if _, _, err := fn.Invoke("serve"); !errors.Is(err, ErrPermanentFailure) {
+		t.Fatal("permanent failure was not sticky")
+	}
+	if got := w.servers[0].FunctionStatus(fn.InvokeToken()); got != StatusPermFail {
+		t.Fatalf("FunctionStatus = %q, want %q", got, StatusPermFail)
+	}
+	if got := w.net.Obs().Counter("bento.watchdog_restart_storms").Value(); got != 1 {
+		t.Fatalf("restart_storms counter = %d, want 1", got)
+	}
+	if got := w.servers[0].FunctionRestarts(fn.InvokeToken()); got != restartStormMax {
+		t.Fatalf("FunctionRestarts moved to %d after perm-fail, want %d", got, restartStormMax)
+	}
+}
+
+// TestSessionRetryBackoffSeeded pins the retry backoff's contract:
+// bounded by [BaseBackoff/2, MaxBackoff], ceiling doubling per attempt,
+// and fully deterministic per seed.
+func TestSessionRetryBackoffSeeded(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	cli := w.client(t, "alice", 306)
+	cfg := SessionConfig{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Seed: 7}
+	a := cli.NewSession(cli.Nodes()[0], cfg)
+	b := cli.NewSession(cli.Nodes()[0], cfg)
+	defer a.Close()
+	defer b.Close()
+
+	ceil := cfg.BaseBackoff
+	for attempt := 1; attempt <= 8; attempt++ {
+		da := a.retryBackoff(attempt)
+		if db := b.retryBackoff(attempt); da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, da, db)
+		}
+		if da < ceil/2 || da > ceil {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, da, ceil/2, ceil)
+		}
+		if ceil < cfg.MaxBackoff {
+			ceil *= 2
+		}
+		if ceil > cfg.MaxBackoff {
+			ceil = cfg.MaxBackoff
+		}
+	}
+}
+
+// TestSessionRetryBackoffObserved checks the telemetry side of the
+// retry path: a watchdog-restart retry records its backoff in the
+// session_retry_backoff_ms histogram.
+func TestSessionRetryBackoffObserved(t *testing.T) {
+	w := buildWorld(t, 3, 1)
+	cli := w.client(t, "alice", 307)
+	sess := cli.NewSession(cli.Nodes()[0], SessionConfig{})
+	defer sess.Close()
+	fn, err := sess.Spawn(restartManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Upload(statefulFunction); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fn.Invoke("setup", interp.Bytes("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !w.servers[0].KillFunction(fn.InvokeToken()) {
+		t.Fatal("KillFunction: unknown token")
+	}
+	if _, _, err := fn.Invoke("serve"); err != nil {
+		t.Fatalf("invoke across kill: %v", err)
+	}
+	hist := w.net.Obs().Histogram("bento.session_retry_backoff_ms", nil)
+	if hist.Count() < 1 {
+		t.Fatalf("retry backoff histogram count = %d, want >= 1", hist.Count())
+	}
+}

@@ -10,6 +10,7 @@ package bento
 
 import (
 	"errors"
+	"time"
 
 	"github.com/bento-nfv/bento/internal/interp"
 	"github.com/bento-nfv/bento/internal/policy"
@@ -19,6 +20,18 @@ import (
 // maxRestarts caps watchdog revivals per function, bounding the work a
 // crash-looping function can extract from the node.
 const maxRestarts = 16
+
+// The restart-storm guard: a function revived restartStormMax times
+// within a sliding restartStormWindow (virtual time) is crash-looping —
+// reviving it again would only let it extract more cycles. The watchdog
+// instead declares it permanently failed: no further restarts, every
+// later invocation reports the state to the client (PermFailed on the
+// done frame → ErrPermanentFailure), and a fleet controller reading that
+// signal replaces the replica instead of retrying forever.
+const (
+	restartStormMax    = 4
+	restartStormWindow = 30 * time.Second
+)
 
 // crashClass reports whether err killed the interpreter (as opposed to an
 // application-level error that leaves the machine healthy).
@@ -41,14 +54,31 @@ func (s *Server) maybeRestart(rf *runningFunction, cause error) bool {
 	default:
 		return false
 	}
+	now := s.cfg.Host.Clock().Now()
 	rf.cmu.Lock()
+	if rf.permFailed {
+		rf.cmu.Unlock()
+		return false
+	}
+	// Slide the storm window forward, then check whether one more
+	// revival would exceed the rate the guard allows.
+	keep := rf.restartTimes[:0]
+	for _, t := range rf.restartTimes {
+		if now-t < restartStormWindow {
+			keep = append(keep, t)
+		}
+	}
+	rf.restartTimes = keep
+	if len(rf.restartTimes) >= restartStormMax || rf.restarts >= maxRestarts {
+		rf.permFailed = true
+		rf.cmu.Unlock()
+		s.om.restartStorms.Inc()
+		return false
+	}
 	gen := rf.restarts
 	code := rf.code
 	old := rf.container
 	rf.cmu.Unlock()
-	if gen >= maxRestarts {
-		return false
-	}
 	container, err := s.sup.Respawn(old.ID(), rf.man)
 	if err != nil {
 		return false
@@ -62,6 +92,7 @@ func (s *Server) maybeRestart(rf *runningFunction, cause error) bool {
 	rf.container = container
 	rf.stem = stem
 	rf.restarts = gen + 1
+	rf.restartTimes = append(rf.restartTimes, now)
 	rf.cmu.Unlock()
 	if oldStem != nil {
 		oldStem.Close()
@@ -101,4 +132,26 @@ func (s *Server) FunctionRestarts(invokeTok string) int {
 	rf.cmu.Lock()
 	defer rf.cmu.Unlock()
 	return rf.restarts
+}
+
+// Function status strings reported by FunctionStatus.
+const (
+	StatusRunning  = "running"
+	StatusPermFail = "permanent-failed"
+	StatusUnknown  = "unknown"
+)
+
+// FunctionStatus reports the lifecycle state of the function holding the
+// given invocation token: StatusRunning, StatusPermFail (the restart-storm
+// guard gave up on it), or StatusUnknown for a token this server does not
+// hold (never spawned here, or already shut down).
+func (s *Server) FunctionStatus(invokeTok string) string {
+	rf := s.lookup(invokeTok)
+	if rf == nil {
+		return StatusUnknown
+	}
+	if rf.permanentlyFailed() {
+		return StatusPermFail
+	}
+	return StatusRunning
 }

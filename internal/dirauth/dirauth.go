@@ -42,6 +42,12 @@ type Descriptor struct {
 	Flags      []string           `json:"flags"`
 	ExitPolicy *policy.ExitPolicy `json:"exit_policy,omitempty"`
 
+	// Family groups relays under one operator, as Tor's family lines do.
+	// Path selection and fleet placement treat same-family relays as one
+	// fault domain. Empty means the relay declared no family; Family()
+	// then falls back to the nickname (every relay its own family).
+	FamilyID string `json:"family,omitempty"`
+
 	// Bento middlebox fields (present when FlagBento is set).
 	Middlebox *policy.Middlebox `json:"middlebox,omitempty"`
 	BentoAddr string            `json:"bento_addr,omitempty"`
@@ -54,6 +60,15 @@ type Descriptor struct {
 func (d *Descriptor) Fingerprint() string {
 	sum := sha256.Sum256(d.Identity)
 	return hex.EncodeToString(sum[:8])
+}
+
+// Family returns the relay's fault-domain label: the declared family,
+// or the nickname when none was declared.
+func (d *Descriptor) Family() string {
+	if d.FamilyID != "" {
+		return d.FamilyID
+	}
+	return d.Nickname
 }
 
 // HasFlag reports whether the descriptor carries the given flag.
@@ -164,6 +179,23 @@ func (c *Consensus) BentoNodes(calls ...string) []*Descriptor {
 			out = append(out, d)
 		}
 	}
+	return out
+}
+
+// Families returns the set of family labels present in the consensus,
+// in sorted order — the fault domains a placement allocator can spread
+// replicas across.
+func (c *Consensus) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range c.Relays {
+		fam := d.Family()
+		if !seen[fam] {
+			seen[fam] = true
+			out = append(out, fam)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -288,6 +320,15 @@ func (a *Authority) Publish(d *Descriptor) error {
 	defer a.mu.Unlock()
 	a.relays[d.Nickname] = d
 	return nil
+}
+
+// Remove drops a relay from the authority's descriptor set, so the next
+// consensus no longer lists it — how a decommissioned or long-dead relay
+// leaves the directory. Removing an unknown nickname is a no-op.
+func (a *Authority) Remove(nickname string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.relays, nickname)
 }
 
 // Consensus produces a freshly signed consensus over the current relays.

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/policy"
+)
+
+// allocator places replicas onto consensus Bento nodes, metallb-pool
+// style: a pure feasibility filter plus a seeded random pick, so
+// placements are reproducible per seed. Anti-affinity over relay
+// families is a soft constraint ranked below availability — a fleet
+// squeezed into one family beats a fleet that stays down — and every
+// relaxation is reported to the caller so it lands in telemetry.
+type allocator struct {
+	rng *rand.Rand
+}
+
+func newAllocator(seed int64) *allocator {
+	return &allocator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// placement is one allocation request.
+type placement struct {
+	manifest *policy.Manifest
+	// used are nicknames already hosting (or receiving) a replica of
+	// this fleet; never eligible.
+	used map[string]bool
+	// usedFamilies are families already hosting a replica; avoided
+	// under anti-affinity.
+	usedFamilies map[string]bool
+	// suspects maps nicknames to the virtual instant their cooldown
+	// expires; a suspect node is avoided while alternatives exist.
+	suspects map[string]time.Duration
+	now      time.Duration
+	// antiAffinity demands family-distinct placement when feasible.
+	antiAffinity bool
+	// sticky, when nonempty and feasible, is returned outright — the
+	// slot is retrying a placement of unknown fate and must land on the
+	// same node for its idempotency key to adopt the original.
+	sticky string
+}
+
+// place picks a node. relaxed reports that anti-affinity had to be
+// dropped to find one.
+func (a *allocator) place(cons *dirauth.Consensus, req placement) (node *dirauth.Descriptor, relaxed bool, err error) {
+	candidates := cons.BentoNodes(req.manifest.Calls...)
+	feasible := candidates[:0:0]
+	for _, d := range candidates {
+		if !req.used[d.Nickname] {
+			feasible = append(feasible, d)
+		}
+	}
+	if len(feasible) == 0 {
+		return nil, false, fmt.Errorf("fleet: no Bento node available (of %d in consensus, %d already used)",
+			len(candidates), len(req.used))
+	}
+
+	fresh := func(d *dirauth.Descriptor) bool { return req.suspects[d.Nickname] <= req.now }
+
+	// Sticky wins outright unless the node is a live suspect: an
+	// unreachable node with a fresh alternative should be vacated (the
+	// caller orphans the old key), but when every node is suspect or
+	// taken, the tiers below converge back on the sticky node anyway —
+	// same key, adopt-don't-duplicate.
+	if req.sticky != "" {
+		for _, d := range feasible {
+			if d.Nickname == req.sticky && fresh(d) {
+				return d, false, nil
+			}
+		}
+	}
+	distinct := func(d *dirauth.Descriptor) bool { return !req.usedFamilies[d.Family()] }
+
+	// Preference tiers: reachability first, then family spread. A
+	// suspect node likely rejects the placement anyway, so a fresh
+	// same-family node outranks a suspect distinct-family one.
+	tiers := []struct {
+		ok      func(*dirauth.Descriptor) bool
+		relaxed bool
+	}{
+		{func(d *dirauth.Descriptor) bool { return fresh(d) && distinct(d) }, false},
+		{func(d *dirauth.Descriptor) bool { return fresh(d) }, true},
+		{distinct, false},
+		{func(d *dirauth.Descriptor) bool { return true }, true},
+	}
+	if !req.antiAffinity {
+		tiers = []struct {
+			ok      func(*dirauth.Descriptor) bool
+			relaxed bool
+		}{
+			{fresh, false},
+			{func(d *dirauth.Descriptor) bool { return true }, false},
+		}
+	}
+	for _, tier := range tiers {
+		var pool []*dirauth.Descriptor
+		for _, d := range feasible {
+			if tier.ok(d) {
+				pool = append(pool, d)
+			}
+		}
+		if len(pool) > 0 {
+			// Within a tier, sticky still wins: adopting beats moving
+			// whenever the sticky node is no worse than the rest.
+			for _, d := range pool {
+				if d.Nickname == req.sticky {
+					return d, tier.relaxed, nil
+				}
+			}
+			return pool[a.rng.Intn(len(pool))], tier.relaxed, nil
+		}
+	}
+	return nil, false, fmt.Errorf("fleet: no feasible placement") // unreachable: last tier accepts all
+}

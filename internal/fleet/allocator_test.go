@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/policy"
+)
+
+// testConsensus builds a consensus of Bento nodes, one per (nickname,
+// family) pair.
+func testConsensus(nodes ...[2]string) *dirauth.Consensus {
+	c := &dirauth.Consensus{}
+	for _, nf := range nodes {
+		c.Relays = append(c.Relays, &dirauth.Descriptor{
+			Nickname:  nf[0],
+			FamilyID:  nf[1],
+			Flags:     []string{dirauth.FlagBento},
+			Middlebox: policy.DefaultMiddlebox(),
+		})
+	}
+	return c
+}
+
+func testManifest() *policy.Manifest {
+	return &policy.Manifest{Name: "t", Image: "python"}
+}
+
+func TestAllocatorPrefersDistinctFamily(t *testing.T) {
+	cons := testConsensus([2]string{"a0", "famA"}, [2]string{"a1", "famA"}, [2]string{"b0", "famB"})
+	a := newAllocator(7)
+	for seed := int64(1); seed < 10; seed++ {
+		a.rng = newAllocator(seed).rng
+		node, relaxed, err := a.place(cons, placement{
+			manifest:     testManifest(),
+			used:         map[string]bool{"a0": true},
+			usedFamilies: map[string]bool{"famA": true},
+			antiAffinity: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node.Nickname != "b0" || relaxed {
+			t.Fatalf("seed %d: placed on %s (relaxed=%v), want b0 unrelaxed", seed, node.Nickname, relaxed)
+		}
+	}
+}
+
+func TestAllocatorRelaxesFamilyBeforeStarving(t *testing.T) {
+	cons := testConsensus([2]string{"a0", "famA"}, [2]string{"a1", "famA"})
+	a := newAllocator(7)
+	node, relaxed, err := a.place(cons, placement{
+		manifest:     testManifest(),
+		used:         map[string]bool{"a0": true},
+		usedFamilies: map[string]bool{"famA": true},
+		antiAffinity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Nickname != "a1" || !relaxed {
+		t.Fatalf("placed on %s (relaxed=%v), want a1 relaxed", node.Nickname, relaxed)
+	}
+}
+
+func TestAllocatorStarvesWhenAllUsed(t *testing.T) {
+	cons := testConsensus([2]string{"a0", "famA"})
+	a := newAllocator(7)
+	_, _, err := a.place(cons, placement{
+		manifest: testManifest(),
+		used:     map[string]bool{"a0": true},
+	})
+	if err == nil {
+		t.Fatal("want starvation error with every node used")
+	}
+}
+
+func TestAllocatorAvoidsSuspects(t *testing.T) {
+	cons := testConsensus([2]string{"a0", "famA"}, [2]string{"b0", "famB"})
+	a := newAllocator(7)
+	for seed := int64(1); seed < 10; seed++ {
+		a.rng = newAllocator(seed).rng
+		node, _, err := a.place(cons, placement{
+			manifest:     testManifest(),
+			used:         map[string]bool{},
+			usedFamilies: map[string]bool{},
+			suspects:     map[string]time.Duration{"a0": 100 * time.Second},
+			now:          10 * time.Second,
+			antiAffinity: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node.Nickname != "b0" {
+			t.Fatalf("seed %d: placed on suspect %s, want b0", seed, node.Nickname)
+		}
+	}
+}
+
+func TestAllocatorSuspectExpires(t *testing.T) {
+	cons := testConsensus([2]string{"a0", "famA"})
+	a := newAllocator(7)
+	node, _, err := a.place(cons, placement{
+		manifest: testManifest(),
+		suspects: map[string]time.Duration{"a0": 5 * time.Second},
+		now:      10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Nickname != "a0" {
+		t.Fatalf("placed on %s, want a0 (cooldown expired)", node.Nickname)
+	}
+}
+
+func TestAllocatorStickyWinsWhenFresh(t *testing.T) {
+	cons := testConsensus([2]string{"a0", "famA"}, [2]string{"b0", "famB"}, [2]string{"c0", "famC"})
+	a := newAllocator(7)
+	for seed := int64(1); seed < 10; seed++ {
+		a.rng = newAllocator(seed).rng
+		node, _, err := a.place(cons, placement{
+			manifest:     testManifest(),
+			antiAffinity: true,
+			sticky:       "b0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node.Nickname != "b0" {
+			t.Fatalf("seed %d: placed on %s, want sticky b0", seed, node.Nickname)
+		}
+	}
+}
+
+func TestAllocatorVacatesSuspectStickyWhenAlternativeExists(t *testing.T) {
+	cons := testConsensus([2]string{"a0", "famA"}, [2]string{"b0", "famB"})
+	a := newAllocator(7)
+	node, _, err := a.place(cons, placement{
+		manifest:     testManifest(),
+		suspects:     map[string]time.Duration{"a0": 100 * time.Second},
+		now:          10 * time.Second,
+		antiAffinity: true,
+		sticky:       "a0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Nickname != "b0" {
+		t.Fatalf("placed on %s, want b0 (sticky is suspect, fresh alternative exists)", node.Nickname)
+	}
+}
+
+func TestAllocatorKeepsSuspectStickyWithoutAlternative(t *testing.T) {
+	cons := testConsensus([2]string{"a0", "famA"}, [2]string{"b0", "famB"})
+	a := newAllocator(7)
+	node, _, err := a.place(cons, placement{
+		manifest:     testManifest(),
+		used:         map[string]bool{"b0": true},
+		usedFamilies: map[string]bool{"famB": true},
+		suspects:     map[string]time.Duration{"a0": 100 * time.Second},
+		now:          10 * time.Second,
+		antiAffinity: true,
+		sticky:       "a0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Nickname != "a0" {
+		t.Fatalf("placed on %s, want sticky a0 (no alternative; adopt, don't duplicate)", node.Nickname)
+	}
+}

@@ -1,0 +1,141 @@
+// Package fleet is the declarative control plane for Bento function
+// fleets. An operator hands the controller a Spec — "N replicas of this
+// function, spread across distinct relay families" — and the controller
+// keeps reality converged on it through relay churn, crash loops, and
+// partitions, with no operator in the loop.
+//
+// The design follows the metallb reconciler pattern: a single controller
+// loop diffs desired state against observed state (health probes through
+// the bento Session layer, relay liveness from refreshed dirauth
+// consensus) and converges by driving spawn/upgrade/retire actions
+// through the existing client API. Placement goes through an allocator
+// over consensus descriptors that treats relay families as fault domains
+// (anti-affinity), echoing the placement constraints of trusted-NF work:
+// replicas of one function should not share an operator.
+//
+// Robustness machinery, because the control plane must not become the
+// failure amplifier:
+//
+//   - failed reconcile actions requeue with bounded exponential backoff
+//     plus seeded jitter, never hot-looping against a dead relay;
+//   - a per-replica circuit breaker opens after consecutive short-lived
+//     placements, so a poison function cannot keep the controller busy;
+//   - every async action carries the spec generation and slot incarnation
+//     it was launched under, and stale results are discarded (and their
+//     resources reaped) instead of resurrecting superseded state;
+//   - spawn idempotency keys are deterministic per (fleet, slot,
+//     incarnation), so a placement whose fate a partition obscured is
+//     adopted — not duplicated — when retried, and confirmed-dead
+//     placements on unreachable nodes are remembered as orphans and
+//     reaped once the node returns.
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"github.com/bento-nfv/bento/internal/bento"
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/policy"
+)
+
+// Spec is the desired state of one function fleet. It is treated as
+// immutable once handed to Apply; to change the fleet, Apply a new Spec.
+type Spec struct {
+	// Name identifies the fleet; it namespaces spawn idempotency keys, so
+	// two fleets with the same name must not share a controller client.
+	Name string
+	// Replicas is the desired number of ready replicas.
+	Replicas int
+	// Manifest is the per-replica function manifest. A restart policy of
+	// RestartOnFailure is the natural companion: the server watchdog is
+	// the first line of defense, the controller the second.
+	Manifest *policy.Manifest
+	// Source is the bscript program uploaded to every replica. Changing
+	// it in a new Spec triggers a rolling upgrade: replicas re-upload in
+	// place, one at a time, cheap under the server's program cache.
+	Source string
+	// HealthFn, when nonempty, names a function invoked as the health
+	// probe (and as the post-placement readiness check). It must return
+	// without error on a healthy replica. Empty probes node reachability
+	// only (a policy fetch).
+	HealthFn string
+	// Init, when non-nil, runs once per placement after upload —
+	// seeding content, registering with peers. An Init error fails the
+	// placement.
+	Init func(fn *bento.SessionFunction) error
+	// AllowSharedFamily disables anti-affinity. By default the allocator
+	// refuses to co-locate two replicas in one relay family while any
+	// family-distinct candidate exists.
+	AllowSharedFamily bool
+}
+
+func (s *Spec) validate() error {
+	if s == nil {
+		return fmt.Errorf("fleet: nil spec")
+	}
+	if s.Name == "" {
+		return fmt.Errorf("fleet: spec needs a name")
+	}
+	if s.Replicas < 1 {
+		return fmt.Errorf("fleet: spec %q wants %d replicas", s.Name, s.Replicas)
+	}
+	if s.Manifest == nil {
+		return fmt.Errorf("fleet: spec %q has no manifest", s.Name)
+	}
+	if s.Source == "" {
+		return fmt.Errorf("fleet: spec %q has no source", s.Name)
+	}
+	return nil
+}
+
+func (s *Spec) sourceHash() [sha256.Size]byte {
+	return sha256.Sum256([]byte(s.Source))
+}
+
+// Endpoint is one ready replica, addressable by any client holding the
+// consensus: connect to Node, attach by InvokeToken.
+type Endpoint struct {
+	Slot        int
+	Node        *dirauth.Descriptor
+	InvokeToken string
+}
+
+// Phase is a replica slot's lifecycle state.
+type Phase string
+
+const (
+	// PhaseEmpty: the slot has never been placed (or was just created).
+	PhaseEmpty Phase = "empty"
+	// PhaseStarting: a placement action (spawn/upload/init/health) is in
+	// flight.
+	PhaseStarting Phase = "starting"
+	// PhaseReady: the replica passed its last health probe.
+	PhaseReady Phase = "ready"
+	// PhaseUpgrading: an in-place rolling upgrade is in flight.
+	PhaseUpgrading Phase = "upgrading"
+	// PhaseFailed: the last placement or probe failed; the slot is
+	// waiting out its backoff (or its circuit breaker's cooldown).
+	PhaseFailed Phase = "failed"
+)
+
+// SlotStatus is the observable state of one replica slot.
+type SlotStatus struct {
+	Slot        int
+	Phase       Phase
+	Node        string // relay nickname, "" when unplaced
+	Family      string // relay family, "" when unplaced
+	Incarnation int
+	BreakerOpen bool
+}
+
+// Status is a snapshot of the controller's view of the fleet.
+type Status struct {
+	Name       string
+	Generation uint64
+	Desired    int
+	Ready      int
+	Converged  bool
+	Orphans    int // suspected leaked placements awaiting reaping
+	Slots      []SlotStatus
+}

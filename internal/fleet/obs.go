@@ -1,0 +1,46 @@
+package fleet
+
+import "github.com/bento-nfv/bento/internal/obs"
+
+// metrics is the controller's pre-registered telemetry bundle. Names are
+// shared across fleets on one network, so the dashboard aggregates the
+// whole control plane; a nil registry yields no-op handles.
+type metrics struct {
+	loops           *obs.Counter // reconcile passes
+	actions         *obs.Counter // placements/upgrades/retires launched
+	actionFailures  *obs.Counter // actions that came back failed
+	probes          *obs.Counter // health probes sent
+	probeFailures   *obs.Counter // probes that failed
+	replacements    *obs.Counter // replicas retired for re-placement
+	upgrades        *obs.Counter // in-place rolling upgrades completed
+	breakerTrips    *obs.Counter // per-replica circuit breakers opened
+	staleDiscarded  *obs.Counter // async results dropped as stale (old generation/incarnation)
+	affinityRelaxed *obs.Counter // placements that had to share a family
+	starved         *obs.Counter // reconcile passes with no feasible node for an open slot
+	orphanReaps     *obs.Counter // leaked placements confirmed shut down
+	convergences    *obs.Counter // diverged→converged transitions
+	convergeMs      *obs.Histogram
+	desired         *obs.Gauge
+	ready           *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		loops:           reg.Counter("fleet.reconcile_loops"),
+		actions:         reg.Counter("fleet.actions"),
+		actionFailures:  reg.Counter("fleet.action_failures"),
+		probes:          reg.Counter("fleet.probes"),
+		probeFailures:   reg.Counter("fleet.probe_failures"),
+		replacements:    reg.Counter("fleet.replacements"),
+		upgrades:        reg.Counter("fleet.upgrades"),
+		breakerTrips:    reg.Counter("fleet.breaker_trips"),
+		staleDiscarded:  reg.Counter("fleet.stale_results_discarded"),
+		affinityRelaxed: reg.Counter("fleet.affinity_relaxed"),
+		starved:         reg.Counter("fleet.placement_starved"),
+		orphanReaps:     reg.Counter("fleet.orphan_reaps"),
+		convergences:    reg.Counter("fleet.convergences"),
+		convergeMs:      reg.Histogram("fleet.convergence_ms", obs.ExpBuckets(16, 2, 16)),
+		desired:         reg.Gauge("fleet.desired_replicas"),
+		ready:           reg.Gauge("fleet.ready_replicas"),
+	}
+}

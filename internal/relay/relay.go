@@ -33,8 +33,12 @@ const ORPort = 9001
 
 // Config configures a relay.
 type Config struct {
-	Nickname   string
-	Flags      []string
+	Nickname string
+	Flags    []string
+	// Family is the relay's declared operator family, published in the
+	// descriptor; placement layers treat same-family relays as one fault
+	// domain. Empty = no declared family.
+	Family     string
 	ExitPolicy *policy.ExitPolicy
 	// Middlebox and BentoAddr advertise a co-resident Bento server.
 	Middlebox *policy.Middlebox
@@ -113,6 +117,7 @@ func (r *Relay) Descriptor() (*dirauth.Descriptor, error) {
 		Identity:   r.idPub,
 		OnionKey:   r.onion.Public(),
 		Flags:      r.cfg.Flags,
+		FamilyID:   r.cfg.Family,
 		ExitPolicy: r.cfg.ExitPolicy,
 		Middlebox:  r.cfg.Middlebox,
 		BentoAddr:  r.cfg.BentoAddr,

@@ -11,6 +11,7 @@ import (
 	"github.com/bento-nfv/bento/internal/bento"
 	"github.com/bento-nfv/bento/internal/dirauth"
 	"github.com/bento-nfv/bento/internal/enclave"
+	"github.com/bento-nfv/bento/internal/fleet"
 	"github.com/bento-nfv/bento/internal/functions"
 	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/policy"
@@ -26,6 +27,12 @@ type Config struct {
 	Relays int
 	// BentoNodes is how many relays also run Bento servers (default 2).
 	BentoNodes int
+	// Families, when nonzero, groups relays into this many operator
+	// families round-robin (relay i declares family "fam<i mod Families>").
+	// Zero leaves families undeclared, so every relay is its own fault
+	// domain. The fleet controller's anti-affinity placement spreads
+	// replicas across distinct families.
+	Families int
 	// Sites are served from dedicated web hosts named by their domains.
 	Sites []*webfarm.Site
 	// ClockScale maps virtual to real time (default 0.0005 = 2000x).
@@ -121,6 +128,9 @@ func New(cfg Config) (*World, error) {
 			Flags:      flags,
 			ExitPolicy: exitPol,
 			Quiet:      !cfg.Verbose,
+		}
+		if cfg.Families > 0 {
+			rcfg.Family = fmt.Sprintf("fam%d", i%cfg.Families)
 		}
 		if i < cfg.BentoNodes {
 			rcfg.Flags = append(rcfg.Flags, dirauth.FlagBento)
@@ -225,6 +235,23 @@ func (w *World) NewTorClient(name string, seed int64) *torclient.Client {
 // the deployment's IAS.
 func (w *World) NewBentoClient(name string, seed int64) *bento.Client {
 	return bento.NewClient(w.NewTorClient(name, seed), w.IAS.PublicKey())
+}
+
+// NewFleetController adds a fresh client host and starts a fleet
+// controller on it, watching the deployment's directory authority for
+// relay liveness. Zero-valued cfg fields take the fleet defaults; Client
+// and Consensus are filled in here.
+func (w *World) NewFleetController(name string, cfg fleet.Config) (*fleet.Controller, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = w.NewBentoClient(name, cfg.Seed)
+	}
+	if cfg.Consensus == nil {
+		cfg.Consensus = w.Auth.Consensus
+	}
+	return fleet.New(cfg)
 }
 
 // BentoNode returns the i-th Bento-capable relay descriptor.

@@ -23,9 +23,9 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (cell, simnet, torclient, bento, otr, relay, obs, interp)"
+echo "==> go test -race (cell, simnet, torclient, bento, otr, relay, obs, interp, fleet)"
 go test -race -count=1 ./internal/cell/ ./internal/simnet/ ./internal/torclient/ ./internal/bento/ \
-    ./internal/otr/ ./internal/relay/ ./internal/obs/ ./internal/interp/
+    ./internal/otr/ ./internal/relay/ ./internal/obs/ ./internal/interp/ ./internal/fleet/
 
 echo "==> bench smoke (all benchmarks, 1 iteration)"
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -40,5 +40,8 @@ go test -count=1 -run='TestVMLoopAllocFree' ./internal/interp/
 
 echo "==> engine parity fuzz smoke (tree-walker vs bytecode VM)"
 go test -run='^$' -fuzz='^FuzzEngineParity$' -fuzztime=5s ./internal/interp/
+
+echo "==> fleet reconciliation smoke (chaos faults, must end 100% success)"
+go run ./cmd/benchharness -exp fleet -fleetout /dev/null
 
 echo "All checks passed."
