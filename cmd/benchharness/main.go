@@ -46,6 +46,7 @@ func main() {
 	interpOut := flag.String("interpout", "BENCH_interp.json", "path for the interp engine comparison's machine-readable result")
 	fleetOut := flag.String("fleetout", "BENCH_fleet.json", "path for the fleet reconciliation experiment's machine-readable result")
 	stats := flag.Bool("stats", false, "attach a telemetry registry to the chaos experiment and dump its dashboard at exit")
+	minFwd := flag.Float64("minfwd", 0, "fail the datapath experiment if the forward rate (cells/s) lands below this floor")
 	flag.Parse()
 
 	var statsReg *obs.Registry
@@ -179,6 +180,10 @@ func main() {
 			return err
 		}
 		fmt.Printf("(wrote %s)\n", *benchOut)
+		if *minFwd > 0 && res.ForwardCellsPerSec < *minFwd {
+			return fmt.Errorf("forward rate %.0f cells/s below floor %.0f",
+				res.ForwardCellsPerSec, *minFwd)
+		}
 		return nil
 	})
 

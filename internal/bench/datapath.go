@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/bento-nfv/bento/internal/cell"
 	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/otr"
+	"github.com/bento-nfv/bento/internal/relay"
 	"github.com/bento-nfv/bento/internal/testbed"
 )
 
@@ -30,7 +33,14 @@ type DatapathConfig struct {
 	// ClockScale maps virtual to real time; the datapath experiment wants
 	// the emulation CPU-bound, so it runs with near-zero link delay.
 	ClockScale float64
-	Seed       int64
+	// ParallelCircuits and ParallelCellsPerCircuit size the sharded
+	// worker-pool sweep: that many middle-hop circuits fed through
+	// relay.RunParallelForwardBench at each GOMAXPROCS setting in
+	// ParallelProcs.
+	ParallelCircuits        int
+	ParallelCellsPerCircuit int
+	ParallelProcs           []int
+	Seed                    int64
 	// Obs, when non-nil, attaches live telemetry to the end-to-end
 	// deployment (the observability ablation compares runs with and
 	// without it).
@@ -40,10 +50,13 @@ type DatapathConfig struct {
 // DefaultDatapathConfig returns the quick configuration.
 func DefaultDatapathConfig() DatapathConfig {
 	return DatapathConfig{
-		Bytes:      8 << 20,
-		MicroCells: 200_000,
-		ClockScale: 0.0002,
-		Seed:       1,
+		Bytes:                   8 << 20,
+		MicroCells:              200_000,
+		ClockScale:              0.0002,
+		ParallelCircuits:        64,
+		ParallelCellsPerCircuit: 3_000,
+		ParallelProcs:           []int{1, 2, 4, 8},
+		Seed:                    1,
 	}
 }
 
@@ -66,10 +79,30 @@ type DatapathResult struct {
 	MicroPooledCellsPerSec float64 `json:"micro_pooled_cells_per_sec"`
 	MicroSpeedup           float64 `json:"micro_speedup"`
 
+	// Sharded worker-pool sweep: aggregate middle-hop forwarding
+	// throughput across ParallelCircuits circuits, keyed by the
+	// GOMAXPROCS value the measurement ran at. ParallelScaling4x is
+	// rate(4)/rate(1); HostCPUs records how many cores the host
+	// actually had, since scaling numbers taken on a box with fewer
+	// cores than GOMAXPROCS measure scheduler overhead, not speedup.
+	ParallelForwardCellsPerSec map[string]float64 `json:"parallel_forward_cells_per_sec,omitempty"`
+	ParallelScaling4x          float64            `json:"parallel_scaling_4x,omitempty"`
+	HostCPUs                   int                `json:"host_cpus"`
+
+	// ForwardFloorCellsPerSec is the regression floor for the
+	// single-core end-to-end forward rate; check.sh fails the build if
+	// a fresh run lands below it.
+	ForwardFloorCellsPerSec float64 `json:"forward_floor_cells_per_sec"`
+
 	Bytes      int   `json:"bytes_per_direction"`
 	MicroCells int   `json:"micro_cells"`
 	Seed       int64 `json:"seed"`
 }
+
+// DatapathForwardFloor is 0.8x the end-to-end forward rate recorded when
+// the pooled datapath landed (164105 cells/s); dipping below it means a
+// real regression, not run-to-run noise.
+const DatapathForwardFloor = 130_000.0
 
 // String renders the result table.
 func (r *DatapathResult) String() string {
@@ -85,6 +118,19 @@ func (r *DatapathResult) String() string {
 	if r.MicroPooledCellsPerSec > 0 {
 		fmt.Fprintf(&b, "  zero-copy pooled codec:    %10.0f cells/s  (%.2fx)\n",
 			r.MicroPooledCellsPerSec, r.MicroSpeedup)
+	}
+	if len(r.ParallelForwardCellsPerSec) > 0 {
+		fmt.Fprintf(&b, "\nsharded worker-pool sweep (%d-core host):\n", r.HostCPUs)
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			rate, ok := r.ParallelForwardCellsPerSec[strconv.Itoa(p)]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  GOMAXPROCS=%-2d %10.0f cells/s\n", p, rate)
+		}
+		if r.ParallelScaling4x > 0 {
+			fmt.Fprintf(&b, "  scaling 4x/1x: %.2fx\n", r.ParallelScaling4x)
+		}
 	}
 	return b.String()
 }
@@ -111,13 +157,46 @@ func RunDatapath(cfg DatapathConfig) (*DatapathResult, error) {
 	if cfg.Bytes < cell.MaxRelayData || cfg.MicroCells < 1 {
 		return nil, fmt.Errorf("bench: bad datapath config %+v", cfg)
 	}
-	res := &DatapathResult{Bytes: cfg.Bytes, MicroCells: cfg.MicroCells, Seed: cfg.Seed}
+	res := &DatapathResult{
+		Bytes:                   cfg.Bytes,
+		MicroCells:              cfg.MicroCells,
+		Seed:                    cfg.Seed,
+		HostCPUs:                runtime.NumCPU(),
+		ForwardFloorCellsPerSec: DatapathForwardFloor,
+	}
 
 	if err := runDatapathE2E(cfg, res); err != nil {
 		return nil, err
 	}
 	runDatapathMicro(cfg, res)
+	runDatapathParallel(cfg, res)
 	return res, nil
+}
+
+// runDatapathParallel sweeps GOMAXPROCS and drives the relay's real
+// worker-pool forwarding path (sharded circuit table, per-circuit worker
+// affinity, batched crypto) over many circuits at once. This is the
+// experiment the end-to-end run cannot express: the 3-hop meter circuit
+// is a single ordered cell stream, so its rate is one circuit's rate no
+// matter how many cores exist.
+func runDatapathParallel(cfg DatapathConfig, res *DatapathResult) {
+	if cfg.ParallelCircuits < 1 || cfg.ParallelCellsPerCircuit < 1 || len(cfg.ParallelProcs) == 0 {
+		return
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	res.ParallelForwardCellsPerSec = make(map[string]float64, len(cfg.ParallelProcs))
+	for _, p := range cfg.ParallelProcs {
+		runtime.GOMAXPROCS(p)
+		rate := relay.RunParallelForwardBench(p, cfg.ParallelCircuits, cfg.ParallelCellsPerCircuit)
+		res.ParallelForwardCellsPerSec[strconv.Itoa(p)] = rate
+	}
+	r1, ok1 := res.ParallelForwardCellsPerSec["1"]
+	r4, ok4 := res.ParallelForwardCellsPerSec["4"]
+	if ok1 && ok4 && r1 > 0 {
+		res.ParallelScaling4x = r4 / r1
+	}
 }
 
 // runDatapathE2E pushes cfg.Bytes through a 3-hop circuit in each

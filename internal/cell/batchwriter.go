@@ -98,6 +98,73 @@ func (w *BatchWriter) WriteFrame(frame []byte) error {
 	return nil
 }
 
+// WriteFrames queues len(frames)/Size wire frames — a contiguous run of
+// whole cells — under one lock acquisition, writing them inline when the
+// link is idle. Batched senders (the client's multi-cell data path, a
+// relay worker emitting a decrypted run) use this to amortize the
+// per-cell lock/signal cost across the run. Like WriteFrame it blocks
+// while the link is maxBatchCells behind; the space check happens once
+// for the whole run, so a large batch may overshoot the bound by up to
+// its own size (the bound is backpressure, not a hard buffer limit).
+func (w *BatchWriter) WriteFrames(frames []byte) error {
+	if len(frames)%Size != 0 {
+		return errors.New("cell: WriteFrames requires whole frames")
+	}
+	w.mu.Lock()
+	for len(w.pending) >= maxBatchCells*Size && w.err == nil && !w.closed {
+		w.hasSpace.Wait()
+	}
+	if err := w.failedLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if !w.writing && len(w.pending) == 0 {
+		buf := append(w.spare[:0], frames...)
+		return w.writeInlineLocked(buf)
+	}
+	w.pending = append(w.pending, frames...)
+	w.hasData.Signal()
+	w.mu.Unlock()
+	return nil
+}
+
+// TryWriteFrame queues one wire frame without ever blocking: it returns
+// (false, nil) when the link is maxBatchCells behind instead of waiting
+// for space. It also never takes the idle-inline path — the frame is
+// always handed to the flusher — because the underlying Write can stall
+// (a partitioned or rate-limited link), and Try callers are exactly the
+// ones that must not be stalled by one slow link. Relay workers use this
+// on the forward path and divert to a per-circuit spill queue on false,
+// so one congested circuit cannot head-of-line-block its worker.
+func (w *BatchWriter) TryWriteFrame(frame []byte) (bool, error) {
+	w.mu.Lock()
+	if err := w.failedLocked(); err != nil {
+		w.mu.Unlock()
+		return false, err
+	}
+	if len(w.pending) >= maxBatchCells*Size {
+		w.mu.Unlock()
+		return false, nil
+	}
+	w.pending = append(w.pending, frame[:Size]...)
+	w.hasData.Signal()
+	w.mu.Unlock()
+	return true, nil
+}
+
+// QueuedCells reports how many whole cells are queued behind the link,
+// plus one when a write is in flight. Zero means the writer is fully
+// drained. Stats and tests only — the datapath never polls this.
+func (w *BatchWriter) QueuedCells() int {
+	w.mu.Lock()
+	n := len(w.pending) / Size
+	if w.writing {
+		n++
+	}
+	w.mu.Unlock()
+	return n
+}
+
 // WriteCell queues a Cell value (control cells built on cold paths),
 // serializing it straight into the writer's buffer.
 func (w *BatchWriter) WriteCell(c *Cell) error {

@@ -147,6 +147,133 @@ func TestBatchWriterConcurrentProducers(t *testing.T) {
 	}
 }
 
+// TestBatchWriterWriteFrames covers the multi-frame enqueue: whole runs
+// arrive intact and in order, interleaved runs from concurrent producers
+// never tear, and a misaligned buffer is rejected.
+func TestBatchWriterWriteFrames(t *testing.T) {
+	conn := &recordConn{delay: 100 * time.Microsecond}
+	w := NewBatchWriter(conn)
+
+	if err := w.WriteFrames(make([]byte, Size+1)); err == nil {
+		t.Fatal("misaligned WriteFrames accepted")
+	}
+
+	const producers, runs, runLen = 3, 40, 8
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			run := make([]byte, runLen*Size)
+			for r := 0; r < runs; r++ {
+				for i := 0; i < runLen; i++ {
+					f := run[i*Size:]
+					binary.BigEndian.PutUint32(f[0:4], uint32(p))
+					// Sequence within the producer rides in the payload.
+					binary.BigEndian.PutUint32(WirePayload(f[:Size]), uint32(r*runLen+i))
+				}
+				if err := w.WriteFrames(run); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	w.Close()
+
+	data, _, _ := conn.snapshot()
+	if len(data) != producers*runs*runLen*Size {
+		t.Fatalf("got %d bytes, want %d", len(data), producers*runs*runLen*Size)
+	}
+	next := make([]uint32, producers)
+	for off := 0; off < len(data); off += Size {
+		f := data[off : off+Size]
+		p := WireCircID(f)
+		seq := binary.BigEndian.Uint32(WirePayload(f))
+		if seq != next[p] {
+			t.Fatalf("producer %d: seq %d arrived, want %d (reordered or torn run)", p, seq, next[p])
+		}
+		next[p]++
+	}
+}
+
+// TestBatchWriterTryWriteFrame pins the non-blocking contract: Try
+// enqueues while there is room, reports false (without blocking or
+// dropping) once the writer is maxBatchCells behind, and fails with
+// ErrWriterClosed after Close.
+func TestBatchWriterTryWriteFrame(t *testing.T) {
+	// A conn whose first Write blocks until released, so pending fills.
+	release := make(chan struct{})
+	conn := &gateConn{release: release}
+	w := NewBatchWriter(conn)
+
+	frame := make([]byte, Size)
+	// First frame: Try hands to the flusher (never inline), which then
+	// blocks in conn.Write holding the spare buffer.
+	ok, err := w.TryWriteFrame(frame)
+	if !ok || err != nil {
+		t.Fatalf("first TryWriteFrame = %v, %v", ok, err)
+	}
+	// Fill pending to the bound while the flusher is stuck.
+	accepted := 1
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok, err := w.TryWriteFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		accepted++
+		if time.Now().After(deadline) {
+			t.Fatal("TryWriteFrame never reported a full writer")
+		}
+	}
+	if accepted < maxBatchCells {
+		t.Fatalf("writer reported full after only %d frames", accepted)
+	}
+	close(release)
+	w.Close()
+
+	data, _, _ := conn.snapshot()
+	if len(data) != accepted*Size {
+		t.Fatalf("%d frames accepted but %d bytes arrived", accepted, len(data))
+	}
+	if _, err := w.TryWriteFrame(frame); err != ErrWriterClosed {
+		t.Fatalf("TryWriteFrame after Close: %v, want ErrWriterClosed", err)
+	}
+}
+
+// gateConn blocks every Write until release is closed, then records.
+type gateConn struct {
+	release <-chan struct{}
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	closed  bool
+}
+
+func (c *gateConn) Write(p []byte) (int, error) {
+	<-c.release
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *gateConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *gateConn) snapshot() ([]byte, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...), 0, c.closed
+}
+
 // TestBatchWriterWriteAfterClose locks in the fail-fast contract.
 func TestBatchWriterWriteAfterClose(t *testing.T) {
 	w := NewBatchWriter(&recordConn{})

@@ -1,0 +1,113 @@
+package otr
+
+import (
+	"crypto/cipher"
+	"crypto/subtle"
+)
+
+// Multi-cell batched relay crypto. A relay worker (or the client's send
+// path) that holds several cells for the same circuit can run one
+// keystream generation + XOR pass over all of them instead of one
+// cipher call per cell, and fold the rolling-digest updates over the
+// batch. Output is byte-identical to the equivalent sequence of
+// single-cell calls: AES-CTR keystream bytes are consumed in cell order
+// exactly as N sequential XORKeyStream calls would consume them, and
+// digest state advances over the payloads in the same order. The
+// differential corpus in batch_test.go pins this equivalence, including
+// the fail-closed poisoned-rollback semantics of verification (which is
+// deliberately not batched: recognition is a per-cell decision).
+//
+// Concurrency: a Layer's forward state must only ever be touched by one
+// goroutine at a time, batched or not — same rule as the single-cell
+// API. The scratch region is caller-owned (typically one per worker or
+// per circuit) and is never shared between concurrent batch calls.
+
+// CryptScratch is the reusable keystream buffer behind batched AES-CTR.
+// The zero value is ready to use; the buffer grows to the largest batch
+// seen and is then reused without allocation.
+type CryptScratch struct {
+	ks []byte
+}
+
+// keystream returns an n-byte zeroed scratch region.
+func (s *CryptScratch) keystream(n int) []byte {
+	if cap(s.ks) < n {
+		s.ks = make([]byte, n)
+		return s.ks
+	}
+	ks := s.ks[:n]
+	clear(ks)
+	return ks
+}
+
+// applyBatch XORs the stream's next keystream bytes over every payload,
+// in slice order. Generating the keystream into one contiguous scratch
+// region costs a single cipher call for the whole batch; the per-payload
+// XOR is a word-wide copy-speed pass (subtle.XORBytes).
+func applyBatch(stream cipher.Stream, payloads [][]byte, s *CryptScratch) {
+	if len(payloads) == 0 {
+		return
+	}
+	if len(payloads) == 1 || s == nil {
+		for _, p := range payloads {
+			stream.XORKeyStream(p, p)
+		}
+		return
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	ks := s.keystream(total)
+	// ks is zeroed, so XORing the cipher stream over it leaves the raw
+	// keystream — the same bytes N sequential per-payload calls would use.
+	stream.XORKeyStream(ks, ks)
+	off := 0
+	for _, p := range payloads {
+		subtle.XORBytes(p, p, ks[off:off+len(p)])
+		off += len(p)
+	}
+}
+
+// ApplyForwardBatch XORs the forward keystream over every payload in
+// order, byte-identical to calling ApplyForward on each in sequence.
+func (l *Layer) ApplyForwardBatch(payloads [][]byte, s *CryptScratch) {
+	applyBatch(l.fwd, payloads, s)
+}
+
+// ApplyBackwardBatch is ApplyForwardBatch for the backward keystream.
+func (l *Layer) ApplyBackwardBatch(payloads [][]byte, s *CryptScratch) {
+	applyBatch(l.bwd, payloads, s)
+}
+
+// SealForwardBatch stamps the forward rolling digest into each payload
+// in order — the digest fold of a batched send. Identical to sequential
+// SealForward calls (the rolling state is inherently order-dependent, so
+// the fold is the batch form).
+func (l *Layer) SealForwardBatch(payloads [][]byte, off int) {
+	for _, p := range payloads {
+		l.fwdDigest.seal(p, off)
+	}
+}
+
+// SealBackwardBatch is SealForwardBatch for the backward digest (relay
+// side, cells traveling toward the client).
+func (l *Layer) SealBackwardBatch(payloads [][]byte, off int) {
+	for _, p := range payloads {
+		l.bwdDigest.seal(p, off)
+	}
+}
+
+// OnionCryptBatch seals every payload for hop target and applies the
+// forward keystream of every layer from target down to the entry — the
+// batched form of N sequential OnionEncrypt calls, byte-identical to
+// them. Each layer's keystream is consumed in cell order whether cells
+// are encrypted one at a time or as a batch, and the target hop's
+// rolling digest advances over the plaintext payloads in the same order,
+// so the wire bytes cannot differ.
+func OnionCryptBatch(layers []*Layer, target int, payloads [][]byte, digestOff int, s *CryptScratch) {
+	layers[target].SealForwardBatch(payloads, digestOff)
+	for i := target; i >= 0; i-- {
+		layers[i].ApplyForwardBatch(payloads, s)
+	}
+}

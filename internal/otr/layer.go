@@ -163,13 +163,18 @@ func NewLayer(keys []byte) (*Layer, error) {
 	}, nil
 }
 
+// zeroIV is the shared all-zero CTR IV: every keystream uses a fresh
+// key (one per circuit direction), so a fixed zero IV is safe, and
+// cipher.NewCTR copies the IV it is given, so sharing one read-only
+// array avoids an allocation per layer setup.
+var zeroIV [aes.BlockSize]byte
+
 func ctrStream(key []byte) (cipher.Stream, error) {
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, fmt.Errorf("otr: %w", err)
 	}
-	iv := make([]byte, aes.BlockSize) // fresh key per circuit; zero IV is safe
-	return cipher.NewCTR(block, iv), nil
+	return cipher.NewCTR(block, zeroIV[:]), nil
 }
 
 // ApplyForward XORs the forward keystream over p in place (encrypt and

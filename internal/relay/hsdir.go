@@ -63,14 +63,10 @@ func (r *Relay) serveHSDirConn(conn net.Conn) {
 				resp.Error = "missing service ID or descriptor"
 				break
 			}
-			r.mu.Lock()
-			r.hsdir[req.ServiceID] = req.Descriptor
-			r.mu.Unlock()
+			r.hsdir.Put(req.ServiceID, req.Descriptor)
 			resp.OK = true
 		case "fetch":
-			r.mu.Lock()
-			desc, ok := r.hsdir[req.ServiceID]
-			r.mu.Unlock()
+			desc, ok := r.hsdir.Get(req.ServiceID)
 			if !ok {
 				resp.Error = "no descriptor for " + req.ServiceID
 				break

@@ -28,8 +28,11 @@ type relayMetrics struct {
 
 	introsForwarded *obs.Counter
 	rendSplices     *obs.Counter
+	spilled         *obs.Counter // frames diverted to a circuit spill queue
 
-	flush *obs.Histogram // BatchWriter link-write sizes, in cells
+	flush      *obs.Histogram // BatchWriter link-write sizes, in cells
+	batchCells *obs.Histogram // worker drain sizes, in cells
+	shardWait  *obs.Histogram // sharded-table lock acquisition wait, ns
 }
 
 func newRelayMetrics(reg *obs.Registry) relayMetrics {
@@ -47,6 +50,11 @@ func newRelayMetrics(reg *obs.Registry) relayMetrics {
 		streamsRefused:  reg.Counter("relay.streams_refused"),
 		introsForwarded: reg.Counter("relay.intros_forwarded"),
 		rendSplices:     reg.Counter("relay.rendezvous_splices"),
+		spilled:         reg.Counter("relay.cells_spilled"),
 		flush:           reg.Histogram("relay.flush_cells", obs.BatchBuckets),
+		batchCells:      reg.Histogram("relay.worker_batch_cells", obs.BatchBuckets),
+		// Shard-lock waits are typically well under a microsecond; the
+		// buckets run 100ns … ~100ms so real contention stands out.
+		shardWait: reg.Histogram("relay.shard_lock_wait_ns", obs.ExpBuckets(100, 4, 11)),
 	}
 }

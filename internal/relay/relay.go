@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/bento-nfv/bento/internal/cell"
 	"github.com/bento-nfv/bento/internal/dirauth"
@@ -59,11 +61,33 @@ type Relay struct {
 	reg     *obs.Registry
 	m       relayMetrics
 
-	mu         sync.Mutex
-	rendezvous map[string]*circuitEnd // cookie (hex) -> waiting client circuit
-	intros     map[string]*circuitEnd // service ID -> intro circuit
-	hsdir      map[string][]byte      // service ID -> raw descriptor (HSDir duty)
-	conns      map[net.Conn]struct{}  // live inbound links, for Crash
+	// fwd is the worker pool processing the forward datapath; serveWG
+	// counts the accept loop plus every live link reader, so Close can
+	// stop the workers only after the last possible enqueuer is gone.
+	fwd        *forwarder
+	serveWG    sync.WaitGroup
+	circSerial atomic.Uint64
+
+	// Control-plane tables, all sharded — nothing here is on the
+	// per-cell forward path. Circuits are keyed by a unique serial
+	// (circuit IDs are per-link random and may collide across links).
+	circuits   *shardedTable[uint64, *circuitEnd]
+	rendezvous *shardedTable[string, *circuitEnd] // cookie (hex) -> waiting client circuit
+	intros     *shardedTable[string, *circuitEnd] // service ID -> intro circuit
+	hsdir      *shardedTable[string, []byte]      // service ID -> raw descriptor (HSDir duty)
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // live inbound links, for Crash
+}
+
+// initTables builds the relay's sharded control-plane tables, wiring
+// shard-lock acquisition waits into the contention histogram.
+func (r *Relay) initTables() {
+	r.circuits = newShardedTable[uint64, *circuitEnd](hashU64, r.m.shardWait)
+	r.rendezvous = newShardedTable[string, *circuitEnd](fnv32, r.m.shardWait)
+	r.intros = newShardedTable[string, *circuitEnd](fnv32, r.m.shardWait)
+	r.hsdir = newShardedTable[string, []byte](fnv32, r.m.shardWait)
+	r.conns = make(map[net.Conn]struct{})
 }
 
 // New creates and starts a relay on the given host.
@@ -85,20 +109,19 @@ func New(host *simnet.Host, cfg Config) (*Relay, error) {
 	}
 	reg := host.Network().Obs()
 	r := &Relay{
-		host:       host,
-		cfg:        cfg,
-		reg:        reg,
-		m:          newRelayMetrics(reg),
-		idPub:      idPub,
-		idPriv:     idPriv,
-		onion:      onion,
-		ln:         ln,
-		closing:    make(chan struct{}),
-		rendezvous: make(map[string]*circuitEnd),
-		intros:     make(map[string]*circuitEnd),
-		hsdir:      make(map[string][]byte),
-		conns:      make(map[net.Conn]struct{}),
+		host:    host,
+		cfg:     cfg,
+		reg:     reg,
+		m:       newRelayMetrics(reg),
+		idPub:   idPub,
+		idPriv:  idPriv,
+		onion:   onion,
+		ln:      ln,
+		closing: make(chan struct{}),
 	}
+	r.initTables()
+	r.fwd = newForwarder(r, runtime.GOMAXPROCS(0))
+	r.serveWG.Add(1) // the accept loop itself; keeps worker shutdown behind it
 	go r.acceptLoop()
 	return r, nil
 }
@@ -136,7 +159,9 @@ func (r *Relay) Fingerprint() string {
 }
 
 // Close shuts the relay down gracefully: no new connections; existing
-// circuits continue until their endpoints close them.
+// circuits continue until their endpoints close them. The worker pool
+// stops in the background once the last link reader (the last possible
+// enqueuer) has exited.
 func (r *Relay) Close() error {
 	select {
 	case <-r.closing:
@@ -144,7 +169,12 @@ func (r *Relay) Close() error {
 	default:
 	}
 	close(r.closing)
-	return r.ln.Close()
+	err := r.ln.Close()
+	go func() {
+		r.serveWG.Wait()
+		r.fwd.stop()
+	}()
+	return err
 }
 
 // Crash simulates the relay's machine dying: the listener and every live
@@ -153,12 +183,12 @@ func (r *Relay) Close() error {
 // behind "functions fate-share with the middlebox nodes they run on").
 func (r *Relay) Crash() {
 	r.Close()
-	r.mu.Lock()
+	r.connMu.Lock()
 	conns := make([]net.Conn, 0, len(r.conns))
 	for c := range r.conns {
 		conns = append(conns, c)
 	}
-	r.mu.Unlock()
+	r.connMu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -171,11 +201,13 @@ func (r *Relay) logf(format string, args ...any) {
 }
 
 func (r *Relay) acceptLoop() {
+	defer r.serveWG.Done()
 	for {
 		conn, err := r.ln.Accept()
 		if err != nil {
 			return
 		}
+		r.serveWG.Add(1)
 		go r.serveConn(conn)
 	}
 }
@@ -183,46 +215,86 @@ func (r *Relay) acceptLoop() {
 // circuitEnd is this relay's state for one circuit.
 type circuitEnd struct {
 	relay  *Relay
+	serial uint64 // key in the relay's circuit table (unique, unlike circID)
 	circID uint32
+	worker int               // affinity worker index; all forward cells land there
+	conn   net.Conn          // inbound link; closing it stops the link reader
 	prevW  *cell.BatchWriter // batched writer toward the circuit origin
 	layer  *otr.Layer
 
+	// fwdSpill guards the next-hop writer: the worker enqueues forward
+	// frames through it without ever blocking (see spillQueue).
+	fwdSpill spillQueue
+
 	// bwMu serializes backward-direction crypto and enqueues to prevW:
-	// the rolling digest must advance in exactly wire order, and the
-	// BatchWriter preserves enqueue order, so holding bwMu across
-	// seal/encrypt + enqueue keeps digest order equal to wire order.
+	// the rolling digest and keystream must advance in exactly wire
+	// order, and bwSpill preserves enqueue order, so holding bwMu across
+	// seal/encrypt + enqueue keeps crypto order equal to wire order.
 	bwMu sync.Mutex
 	// bwWire is the backward-direction scratch frame, guarded by bwMu.
 	// sendBackward packs, seals, and encrypts into it in place; the
-	// BatchWriter copies on enqueue, so the frame is reusable immediately.
+	// enqueue copies, so the frame is reusable immediately.
 	bwWire []byte
+	// bwBatch is the contiguous multi-frame scratch behind
+	// sendBackwardBatch (lazily allocated: only exit circuits need it),
+	// with bwViews/bwScratch its reused payload views and keystream
+	// scratch. All guarded by bwMu.
+	bwBatch   []byte
+	bwViews   [][]byte
+	bwScratch otr.CryptScratch
+	// bwSpill guards the client-side writer, same role as fwdSpill.
+	bwSpill spillQueue
+
+	destroyed atomic.Bool
 
 	mu         sync.Mutex
 	nextW      *cell.BatchWriter // batched writer toward the next hop, nil at the last hop
 	nextCircID uint32
 	joined     *circuitEnd // rendezvous splice
 	streams    map[uint16]net.Conn
-	destroyed  bool
 }
 
-// serveConn handles one inbound link (= one circuit). The read side runs
-// on a single reused wire buffer: each cell is decrypted in place and
-// either dispatched or forwarded without materializing a Cell value.
+// kill severs the circuit's inbound link. The link reader then exits and
+// enqueues the teardown sentinel, so teardown still happens on the
+// worker after every cell read before the failure.
+func (ce *circuitEnd) kill() { ce.conn.Close() }
+
+// pace stalls the circuit's link reader while any egress queue its
+// forward cells feed is above the spill high-water mark. This is the
+// per-circuit flow control of the pipelined datapath: the worker never
+// blocks on a slow egress (it spills), and the reader — one link is one
+// circuit — stops pulling new cells instead, pushing backpressure to
+// the sender exactly as the old blocking per-circuit loop did. Without
+// it a bulk sender could pump an arbitrarily long transfer into a
+// bounded spill queue and have the circuit killed for overflowing it.
+func (ce *circuitEnd) pace() {
+	ce.fwdSpill.waitBelow(spillHighWater)
+	ce.mu.Lock()
+	joined := ce.joined
+	ce.mu.Unlock()
+	if joined != nil {
+		joined.bwSpill.waitBelow(spillHighWater)
+	}
+}
+
+// serveConn handles one inbound link (= one circuit). After the CREATE
+// handshake the reader's only job is moving whole pooled frames from the
+// wire onto the circuit's affinity-worker queue; all crypto and dispatch
+// happen on the worker (see forwarder).
 func (r *Relay) serveConn(conn net.Conn) {
-	r.mu.Lock()
+	defer r.serveWG.Done()
+	r.connMu.Lock()
 	r.conns[conn] = struct{}{}
-	r.mu.Unlock()
+	r.connMu.Unlock()
 	defer func() {
-		r.mu.Lock()
+		r.connMu.Lock()
 		delete(r.conns, conn)
-		r.mu.Unlock()
+		r.connMu.Unlock()
 		conn.Close()
 	}()
 
-	// Per-link read buffer, reused for every inbound cell on this circuit.
-	wire := make([]byte, cell.Size)
-
 	// First cell must be CREATE.
+	wire := make([]byte, cell.Size)
 	if err := cell.ReadWire(conn, wire); err != nil {
 		return
 	}
@@ -249,75 +321,46 @@ func (r *Relay) serveConn(conn net.Conn) {
 
 	ce := &circuitEnd{
 		relay:   r,
+		serial:  r.circSerial.Add(1),
 		circID:  circID,
+		conn:    conn,
 		prevW:   prevW,
 		layer:   layer,
 		bwWire:  make([]byte, cell.Size),
 		streams: make(map[uint16]net.Conn),
 	}
+	ce.worker = r.fwd.workerFor(circID)
+	ce.bwSpill.init(prevW, r.m.spilled)
+	r.circuits.Put(ce.serial, ce)
 	r.m.circCreated.Inc()
-	defer ce.teardown()
+	// Teardown runs on the worker, strictly after the last enqueued cell:
+	// the sentinel is this reader's final word on the circuit.
+	defer r.fwd.enqueue(ce.worker, fwdTask{ce: ce})
 
 	for {
-		if err := cell.ReadWire(conn, wire); err != nil {
+		f := cell.GetWire()
+		if err := cell.ReadWire(conn, f[:]); err != nil {
+			cell.PutWire(f)
 			return
 		}
-		switch cell.WireCmd(wire) {
+		switch cell.WireCmd(f[:]) {
 		case cell.CmdRelay:
-			if !r.handleRelay(ce, wire) {
-				return
-			}
+			// Frame ownership passes to the worker; pace first so a
+			// congested egress stalls this link instead of overflowing
+			// the circuit's spill queue.
+			ce.pace()
+			r.fwd.enqueue(ce.worker, fwdTask{ce: ce, frame: f})
 		case cell.CmdDestroy:
+			cell.PutWire(f)
 			return
 		case cell.CmdPadding:
 			// Link padding: discard.
+			cell.PutWire(f)
 		default:
-			r.logf("unexpected cell %v mid-circuit", cell.WireCmd(wire))
+			r.logf("unexpected cell %v mid-circuit", cell.WireCmd(f[:]))
+			cell.PutWire(f)
 			return
 		}
-	}
-}
-
-// handleRelay processes one forward relay cell arriving in wire (a whole
-// frame owned by the caller until this returns). It returns false when
-// the circuit should be torn down.
-//
-// The hot forwarding path touches the frame in place: decrypt the payload
-// region, rewrite the circuit ID, enqueue the same bytes on the next
-// link's writer. No Cell value and no copy beyond the writer's batch
-// buffer.
-func (r *Relay) handleRelay(ce *circuitEnd, wire []byte) bool {
-	payload := cell.WirePayload(wire)
-	ce.layer.ApplyForward(payload)
-
-	if cell.Recognized(payload) && ce.layer.VerifyForward(payload, cell.DigestOffset) {
-		r.m.recognized.Inc()
-		hdr, data, err := cell.ParseRelay(payload)
-		if err != nil {
-			r.logf("bad relay payload: %v", err)
-			return false
-		}
-		return r.dispatchRelay(ce, hdr, data)
-	}
-
-	// Not addressed to us: forward along the circuit.
-	ce.mu.Lock()
-	nextW, nextID := ce.nextW, ce.nextCircID
-	joined := ce.joined
-	ce.mu.Unlock()
-	switch {
-	case nextW != nil:
-		cell.SetWireCircID(wire, nextID)
-		r.m.fwdCells.Inc()
-		return nextW.WriteFrame(wire) == nil
-	case joined != nil:
-		// Rendezvous splice: the still-encrypted payload continues as a
-		// backward cell on the joined circuit.
-		return joined.relayBackwardFrame(wire) == nil
-	default:
-		r.logf("unrecognized relay cell at last hop, dropping circuit")
-		r.m.dropped.Inc()
-		return false
 	}
 }
 
@@ -393,6 +436,7 @@ func (r *Relay) handleExtend(ce *circuitEnd, hdr cell.RelayHeader, data []byte) 
 		sp.End()
 		return false
 	}
+	ce.fwdSpill.init(nextW, r.m.spilled)
 	ce.mu.Lock()
 	ce.nextW = nextW
 	ce.nextCircID = nextID
@@ -422,7 +466,9 @@ func (ce *circuitEnd) backwardPump(next net.Conn) {
 		}
 		switch cell.WireCmd(wire) {
 		case cell.CmdRelay:
-			if err := ce.relayBackwardFrame(wire); err != nil {
+			// A dedicated per-circuit goroutine: blocking on the client
+			// link is safe and is the backward path's backpressure.
+			if err := ce.relayBackwardFrame(wire, true); err != nil {
 				return
 			}
 		case cell.CmdDestroy:
@@ -434,21 +480,25 @@ func (ce *circuitEnd) backwardPump(next net.Conn) {
 
 // relayBackwardFrame applies this hop's backward keystream to a whole
 // wire frame in place, restamps the circuit ID, and enqueues it toward
-// the client. The frame is the caller's buffer; the writer copies it on
-// enqueue, so the caller may reuse it as soon as this returns.
-func (ce *circuitEnd) relayBackwardFrame(wire []byte) error {
+// the client. The frame is the caller's buffer; the enqueue copies, so
+// the caller may reuse it as soon as this returns. mayBlock selects
+// between stream backpressure (dedicated goroutines) and the
+// non-blocking spill path (the affinity worker on a rendezvous splice).
+func (ce *circuitEnd) relayBackwardFrame(wire []byte, mayBlock bool) error {
 	ce.relay.m.bwdCells.Inc()
 	ce.bwMu.Lock()
 	defer ce.bwMu.Unlock()
 	ce.layer.ApplyBackward(cell.WirePayload(wire))
 	cell.SetWireCircID(wire, ce.circID)
 	cell.SetWireCmd(wire, cell.CmdRelay)
-	return ce.prevW.WriteFrame(wire)
+	return ce.bwSpill.sendCopy(wire, mayBlock)
 }
 
-// sendBackward originates a backward relay cell at this hop (responses,
-// exit stream data): pack, seal with the backward digest, and encrypt in
-// the reused scratch frame, then enqueue a copy toward the client.
+// sendBackward originates a backward relay cell at this hop (control
+// responses, stream ends): pack, seal with the backward digest, and
+// encrypt in the reused scratch frame, then enqueue a copy toward the
+// client. Callers may be workers, so the enqueue never blocks; a
+// control cell that cannot even spill means a dead client link.
 func (ce *circuitEnd) sendBackward(hdr cell.RelayHeader, data []byte) error {
 	ce.relay.m.originated.Inc()
 	ce.bwMu.Lock()
@@ -461,7 +511,57 @@ func (ce *circuitEnd) sendBackward(hdr cell.RelayHeader, data []byte) error {
 	ce.layer.ApplyBackward(payload)
 	cell.SetWireCircID(ce.bwWire, ce.circID)
 	cell.SetWireCmd(ce.bwWire, cell.CmdRelay)
-	return ce.prevW.WriteFrame(ce.bwWire)
+	return ce.bwSpill.sendCopy(ce.bwWire, false)
+}
+
+// bwBatchCells sizes the backward batch: one exit read turns into up to
+// this many DATA cells sealed and encrypted in a single crypto pass.
+const bwBatchCells = 16
+
+// sendBackwardBatch originates a run of backward DATA cells from one
+// contiguous buffer: pack up to bwBatchCells frames into the reused
+// batch scratch, fold the rolling digest over the run, generate one
+// keystream for all of it (byte-identical to per-cell sends), and hand
+// the whole run to the client-side writer. Runs from dedicated exit
+// goroutines, so a full link blocks (stream backpressure) rather than
+// spilling unboundedly.
+func (ce *circuitEnd) sendBackwardBatch(streamID uint16, data []byte) error {
+	for len(data) > 0 {
+		ce.bwMu.Lock()
+		if ce.bwBatch == nil {
+			ce.bwBatch = make([]byte, bwBatchCells*cell.Size)
+			ce.bwViews = make([][]byte, 0, bwBatchCells)
+		}
+		views := ce.bwViews[:0]
+		n := 0
+		for len(data) > 0 && n < bwBatchCells {
+			chunk := data
+			if len(chunk) > cell.MaxRelayData {
+				chunk = chunk[:cell.MaxRelayData]
+			}
+			frame := ce.bwBatch[n*cell.Size : (n+1)*cell.Size]
+			payload := cell.WirePayload(frame)
+			if err := cell.PackRelay(payload, cell.RelayHeader{StreamID: streamID, Cmd: cell.RelayData}, chunk); err != nil {
+				ce.bwMu.Unlock()
+				return err
+			}
+			cell.SetWireCircID(frame, ce.circID)
+			cell.SetWireCmd(frame, cell.CmdRelay)
+			views = append(views, payload)
+			data = data[len(chunk):]
+			n++
+		}
+		ce.bwViews = views
+		ce.relay.m.originated.Add(int64(n))
+		ce.layer.SealBackwardBatch(views, cell.DigestOffset)
+		ce.layer.ApplyBackwardBatch(views, &ce.bwScratch)
+		err := ce.bwSpill.sendFrames(ce.bwBatch[:n*cell.Size], true)
+		ce.bwMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // handleBegin opens an exit stream, enforcing the exit policy. The special
@@ -491,7 +591,7 @@ func (r *Relay) handleBegin(ce *circuitEnd, hdr cell.RelayHeader, data []byte) b
 		return endStream(ce, hdr.StreamID, "connect failed")
 	}
 	ce.mu.Lock()
-	if ce.destroyed {
+	if ce.destroyed.Load() {
 		ce.mu.Unlock()
 		remote.Close()
 		return false
@@ -505,13 +605,15 @@ func (r *Relay) handleBegin(ce *circuitEnd, hdr cell.RelayHeader, data []byte) b
 }
 
 // exitReader pumps data from the external destination back down the
-// circuit as DATA cells.
+// circuit as DATA cells. It reads a whole batch worth of bytes at a
+// time, so a fast destination turns into batched seal/encrypt passes
+// instead of one crypto call per cell.
 func (ce *circuitEnd) exitReader(streamID uint16, remote net.Conn) {
-	buf := make([]byte, cell.MaxRelayData)
+	buf := make([]byte, bwBatchCells*cell.MaxRelayData)
 	for {
 		n, err := remote.Read(buf)
 		if n > 0 {
-			if werr := ce.sendBackward(cell.RelayHeader{StreamID: streamID, Cmd: cell.RelayData}, buf[:n]); werr != nil {
+			if werr := ce.sendBackwardBatch(streamID, buf[:n]); werr != nil {
 				remote.Close()
 				return
 			}
@@ -572,9 +674,7 @@ func (r *Relay) handleEstablishIntro(ce *circuitEnd, _ cell.RelayHeader, data []
 		r.logf("ESTABLISH_INTRO bad signature for %s", est.ServiceID)
 		return false
 	}
-	r.mu.Lock()
-	r.intros[est.ServiceID] = ce
-	r.mu.Unlock()
+	r.intros.Put(est.ServiceID, ce)
 	return ce.sendBackward(cell.RelayHeader{Cmd: cell.RelayIntroEstablished}, nil) == nil
 }
 
@@ -583,9 +683,7 @@ func (r *Relay) handleIntroduce1(ce *circuitEnd, _ cell.RelayHeader, data []byte
 	if err := cell.DecodeControl(data, &intro); err != nil {
 		return false
 	}
-	r.mu.Lock()
-	svc := r.intros[intro.ServiceID]
-	r.mu.Unlock()
+	svc, _ := r.intros.Get(intro.ServiceID)
 	if svc == nil {
 		r.logf("INTRODUCE1 for unknown service %s", intro.ServiceID)
 		return endIntroduce(ce, "no such service")
@@ -612,9 +710,7 @@ func (r *Relay) handleEstablishRendezvous(ce *circuitEnd, _ cell.RelayHeader, da
 		return false
 	}
 	key := hex.EncodeToString(est.Cookie)
-	r.mu.Lock()
-	r.rendezvous[key] = ce
-	r.mu.Unlock()
+	r.rendezvous.Put(key, ce)
 	return ce.sendBackward(cell.RelayHeader{Cmd: cell.RelayRendezvousEstablished}, nil) == nil
 }
 
@@ -624,10 +720,7 @@ func (r *Relay) handleRendezvous1(ce *circuitEnd, _ cell.RelayHeader, data []byt
 		return false
 	}
 	key := hex.EncodeToString(rv.Cookie)
-	r.mu.Lock()
-	client := r.rendezvous[key]
-	delete(r.rendezvous, key)
-	r.mu.Unlock()
+	client, _ := r.rendezvous.GetAndDelete(key)
 	if client == nil {
 		r.logf("RENDEZVOUS1 with unknown cookie")
 		return false
@@ -651,17 +744,16 @@ func (r *Relay) handleRendezvous1(ce *circuitEnd, _ cell.RelayHeader, data []byt
 // --- teardown ---------------------------------------------------------------
 
 func (ce *circuitEnd) teardown() {
-	ce.mu.Lock()
-	if ce.destroyed {
-		ce.mu.Unlock()
+	if !ce.destroyed.CompareAndSwap(false, true) {
 		return
 	}
-	ce.destroyed = true
+	ce.mu.Lock()
 	nextW := ce.nextW
 	joined := ce.joined
 	streams := ce.streams
 	ce.streams = map[uint16]net.Conn{}
 	ce.mu.Unlock()
+	ce.relay.circuits.Delete(ce.serial)
 	ce.relay.m.circDestroyed.Inc()
 
 	for _, s := range streams {
@@ -684,30 +776,17 @@ func (ce *circuitEnd) teardown() {
 
 // destroyFromBehind tears the circuit down when the next hop vanished.
 func (ce *circuitEnd) destroyFromBehind() {
-	ce.mu.Lock()
-	if ce.destroyed {
-		ce.mu.Unlock()
+	if ce.destroyed.Load() {
 		return
 	}
-	ce.mu.Unlock()
 	ce.prevW.WriteCell(&cell.Cell{CircID: ce.circID, Cmd: cell.CmdDestroy})
 	ce.prevW.Close() // flushes, then closes the link, unblocking serveConn
 }
 
 func (ce *circuitEnd) cleanupRelayMaps() {
 	r := ce.relay
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for k, v := range r.rendezvous {
-		if v == ce {
-			delete(r.rendezvous, k)
-		}
-	}
-	for k, v := range r.intros {
-		if v == ce {
-			delete(r.intros, k)
-		}
-	}
+	r.rendezvous.DeleteIf(func(_ string, v *circuitEnd) bool { return v == ce })
+	r.intros.DeleteIf(func(_ string, v *circuitEnd) bool { return v == ce })
 }
 
 func splitTarget(s string) (string, int, bool) {

@@ -47,7 +47,15 @@ type Circuit struct {
 	// sendWire is the reused outbound frame, guarded by mu: every relay
 	// cell is packed, sealed, and onion-encrypted in place here and put
 	// on the wire with a single conn.Write (which copies synchronously).
-	sendWire   []byte
+	sendWire []byte
+	// batchWire/batchViews/scratch are the reused buffers of the batched
+	// data path (sendData): up to clientBatchCells DATA cells packed into
+	// one contiguous run, onion-encrypted with a single keystream pass
+	// per layer, and handed to the link writer in one call. Lazily
+	// allocated — circuits that never carry bulk data never pay for them.
+	batchWire  []byte
+	batchViews [][]byte
+	scratch    otr.CryptScratch
 	layers     []*otr.Layer
 	streams    map[uint16]*Stream
 	nextStream uint16
@@ -269,6 +277,56 @@ func (circ *Circuit) sendLocked(hdr cell.RelayHeader, data []byte) error {
 	cell.SetWireCmd(circ.sendWire, cell.CmdRelay)
 	circ.client.m.cellsSent.Inc()
 	return circ.w.WriteFrame(circ.sendWire)
+}
+
+// clientBatchCells sizes the batched data path: one Stream.Write turns
+// into runs of up to this many DATA cells encrypted per crypto pass.
+// It matches the relay's backward batch so both directions amortize the
+// same way.
+const clientBatchCells = 16
+
+// sendData packs up to clientBatchCells DATA cells from p into the
+// reused contiguous batch buffer, onion-encrypts the whole run with one
+// batched keystream pass per layer (byte-identical to per-cell sends),
+// and hands it to the guard-link writer in a single call. It consumes
+// at most one batch so callers can re-check write deadlines between
+// batches, and returns the number of bytes taken from p.
+func (circ *Circuit) sendData(streamID uint16, p []byte) (int, error) {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	if circ.isClosed() {
+		return 0, ErrCircuitClosed
+	}
+	if circ.batchWire == nil {
+		circ.batchWire = make([]byte, clientBatchCells*cell.Size)
+		circ.batchViews = make([][]byte, 0, clientBatchCells)
+	}
+	hdr := cell.RelayHeader{StreamID: streamID, Cmd: cell.RelayData}
+	views := circ.batchViews[:0]
+	n, used := 0, 0
+	for used < len(p) && n < clientBatchCells {
+		chunk := p[used:]
+		if len(chunk) > cell.MaxRelayData {
+			chunk = chunk[:cell.MaxRelayData]
+		}
+		frame := circ.batchWire[n*cell.Size : (n+1)*cell.Size]
+		payload := cell.WirePayload(frame)
+		if err := cell.PackRelay(payload, hdr, chunk); err != nil {
+			return 0, err
+		}
+		cell.SetWireCircID(frame, circ.circID)
+		cell.SetWireCmd(frame, cell.CmdRelay)
+		views = append(views, payload)
+		used += len(chunk)
+		n++
+	}
+	circ.batchViews = views
+	otr.OnionCryptBatch(circ.layers, len(circ.layers)-1, views, cell.DigestOffset, &circ.scratch)
+	circ.client.m.cellsSent.Add(int64(n))
+	if err := circ.w.WriteFrames(circ.batchWire[:n*cell.Size]); err != nil {
+		return 0, err
+	}
+	return used, nil
 }
 
 // SendDrop sends a long-range padding cell addressed to the last hop,

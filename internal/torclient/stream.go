@@ -162,9 +162,13 @@ func (s *Stream) Read(p []byte) (int, error) {
 	}
 }
 
-// Write implements net.Conn, chunking into DATA cells. The write deadline
-// is checked before each cell: a Write that straddles an expiring deadline
-// reports the bytes already sent alongside the timeout.
+// Write implements net.Conn, chunking into DATA cells. Client streams
+// take the batched path: up to clientBatchCells cells packed, sealed,
+// and onion-encrypted per crypto pass (service streams stay per-cell —
+// the extra rendezvous layer is driven by the service handler, which
+// interleaves sends). The write deadline is checked before each batch:
+// a Write that straddles an expiring deadline reports the bytes already
+// sent alongside the timeout.
 func (s *Stream) Write(p []byte) (int, error) {
 	clock := s.circ.client.Clock()
 	total := 0
@@ -175,16 +179,16 @@ func (s *Stream) Write(p []byte) (int, error) {
 		if expired {
 			return total, errStreamTimeout
 		}
-		n := len(p)
-		if n > cell.MaxRelayData {
-			n = cell.MaxRelayData
-		}
-		hdr := cell.RelayHeader{StreamID: s.id, Cmd: cell.RelayData}
+		var n int
 		var err error
 		if s.service {
-			err = s.circ.sendServiceCell(hdr, p[:n])
+			n = len(p)
+			if n > cell.MaxRelayData {
+				n = cell.MaxRelayData
+			}
+			err = s.circ.sendServiceCell(cell.RelayHeader{StreamID: s.id, Cmd: cell.RelayData}, p[:n])
 		} else {
-			err = s.circ.send(hdr, p[:n])
+			n, err = s.circ.sendData(s.id, p)
 		}
 		if err != nil {
 			return total, err

@@ -30,10 +30,36 @@ go test -race -count=1 ./internal/cell/ ./internal/simnet/ ./internal/torclient/
 echo "==> bench smoke (all benchmarks, 1 iteration)"
 go test -run='^$' -bench=. -benchtime=1x ./...
 
+echo "==> relay datapath stress under race (circuit teardown vs in-flight forwarding)"
+go test -race -count=1 -run='TestTeardownForwardStress|TestSpillPacing' ./internal/relay/
+
 echo "==> telemetry regression smoke (instrumented hot path must not allocate)"
 go test -count=1 -run='TestInstrumentedMicroAllocFree' ./internal/bench/
 go test -count=1 -run='TestMiddleHopForwardAllocFree' ./internal/relay/
 go test -count=1 -run='TestHotPathAllocFree' ./internal/obs/
+
+echo "==> multi-core alloc smoke (worker batched forward path at GOMAXPROCS=4)"
+# AllocsPerRun pins GOMAXPROCS to 1 during the measured section; running
+# the test under GOMAXPROCS=4 still exercises setup/teardown and the
+# batch-writer flusher with real parallelism around it.
+GOMAXPROCS=4 go test -count=1 -run='TestBatchedForwardAllocFree' ./internal/relay/
+
+echo "==> datapath perf floor (fresh single-core forward rate vs committed floor)"
+floor=$(sed -n 's/.*"forward_floor_cells_per_sec": *\([0-9.]*\).*/\1/p' BENCH_datapath.json)
+tmpjson=$(mktemp)
+go run ./cmd/benchharness -exp datapath -benchout "$tmpjson" -minfwd "${floor:-130000}"
+if [ "$(getconf _NPROCESSORS_ONLN)" -ge 4 ]; then
+    scaling=$(sed -n 's/.*"parallel_scaling_4x": *\([0-9.]*\).*/\1/p' "$tmpjson")
+    if ! awk "BEGIN { exit !(${scaling:-0} >= 2.5) }"; then
+        echo "parallel scaling 4x/1x = ${scaling:-?}, want >= 2.5 on a >=4-core host" >&2
+        rm -f "$tmpjson"
+        exit 1
+    fi
+    echo "parallel scaling 4x/1x = $scaling (>= 2.5)"
+else
+    echo "(host has <4 cores; skipping the GOMAXPROCS=4 scaling assertion)"
+fi
+rm -f "$tmpjson"
 
 echo "==> interpreter regression smoke (VM loop must not allocate per iteration)"
 go test -count=1 -run='TestVMLoopAllocFree' ./internal/interp/
