@@ -24,7 +24,13 @@
 // dashboard at exit. The interp experiment compares the bscript
 // tree-walking interpreter against the bytecode VM (compute-, call-, and
 // string-heavy workloads, the cached upload path, and the end-to-end
-// invoke latency) and writes BENCH_interp.json.
+// invoke latency) and writes BENCH_interp.json. The scale experiment
+// runs on the discrete-event clock: it registers a six-figure client
+// host count (100k with -full) beside a real relay fleet, churns every
+// client through a genuine CREATE handshake plus a cover-traffic pump,
+// and writes emulator throughput, virtual circuit-build percentiles,
+// and steady-state memory per simulated host to BENCH_scale.json;
+// -maxhostbytes turns the memory figure into a hard gate.
 package main
 
 import (
@@ -38,15 +44,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|fleet|scalability|ablations|datapath|obs|interp|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|fleet|scalability|scale|ablations|datapath|obs|interp|all")
 	full := flag.Bool("full", false, "run paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	benchOut := flag.String("benchout", "BENCH_datapath.json", "path for the datapath experiment's machine-readable result")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "path for the observability ablation's machine-readable result")
 	interpOut := flag.String("interpout", "BENCH_interp.json", "path for the interp engine comparison's machine-readable result")
 	fleetOut := flag.String("fleetout", "BENCH_fleet.json", "path for the fleet reconciliation experiment's machine-readable result")
+	scaleOut := flag.String("scaleout", "BENCH_scale.json", "path for the scale experiment's machine-readable result")
+	scaleClients := flag.Int("scaleclients", 0, "override the scale experiment's client count (0 = experiment default)")
 	stats := flag.Bool("stats", false, "attach a telemetry registry to the chaos experiment and dump its dashboard at exit")
 	minFwd := flag.Float64("minfwd", 0, "fail the datapath experiment if the forward rate (cells/s) lands below this floor")
+	maxHostBytes := flag.Float64("maxhostbytes", 0, "fail the scale experiment if steady-state memory per simulated host exceeds this many bytes")
 	flag.Parse()
 
 	var statsReg *obs.Registry
@@ -164,6 +173,34 @@ func main() {
 		return nil
 	})
 
+	run("scale", func() error {
+		cfg := bench.DefaultScaleConfig()
+		cfg.Seed = *seed
+		if !*full {
+			// Quick mode still exercises the full lifecycle, just with a
+			// four-figure host count so `-exp all` stays fast.
+			cfg.Clients = 5_000
+			cfg.Drivers = 64
+		}
+		if *scaleClients > 0 {
+			cfg.Clients = *scaleClients
+		}
+		res, err := bench.RunScale(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if err := res.WriteJSONFile(*scaleOut); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", *scaleOut)
+		if *maxHostBytes > 0 && res.BytesPerHost > *maxHostBytes {
+			return fmt.Errorf("memory per host %.0f bytes above ceiling %.0f",
+				res.BytesPerHost, *maxHostBytes)
+		}
+		return nil
+	})
+
 	run("datapath", func() error {
 		cfg := bench.DefaultDatapathConfig()
 		cfg.Seed = *seed
@@ -275,7 +312,7 @@ func main() {
 	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|fleet|scalability|ablations|datapath|obs|interp|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|fleet|scalability|scale|ablations|datapath|obs|interp|all\n", *exp)
 		os.Exit(2)
 	}
 	if statsReg != nil {

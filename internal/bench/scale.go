@@ -1,0 +1,365 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bento-nfv/bento/internal/cell"
+	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/otr"
+	"github.com/bento-nfv/bento/internal/relay"
+	"github.com/bento-nfv/bento/internal/simnet"
+)
+
+// ScaleConfig sizes the six-figure-host emulation benchmark. The run
+// builds a Network on the discrete-event clock, registers Clients
+// lightweight client hosts alongside a fleet of real relays, and churns
+// every client through a genuine circuit build (CREATE/CREATED with the
+// real onion handshake) followed by a cover-traffic pump of DROP cells
+// sent through the event-native WriteAsync path. A fraction of clients
+// additionally performs a hidden-service-side control op
+// (ESTABLISH_RENDEZVOUS) so the relays' HS tables see load too.
+//
+// Clients are data, not goroutines: a bounded pool of driver goroutines
+// walks them through their state sequence, so live relay links (the
+// relay is deliberately goroutine-per-link) stay bounded by Drivers
+// while the Network holds every host the whole time.
+type ScaleConfig struct {
+	Clients        int     // simulated client hosts (default 100_000)
+	Relays         int     // real relay fleet size
+	Drivers        int     // concurrent drivers = max live circuits
+	CellsPerClient int     // DROP cells pumped per built circuit
+	HSFrac         float64 // fraction of clients doing an HS control op
+	Seed           int64
+	Quiet          bool
+}
+
+// DefaultScaleConfig is the acceptance-scale run: 100k clients.
+func DefaultScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Clients:        100_000,
+		Relays:         4,
+		Drivers:        192,
+		CellsPerClient: 4,
+		HSFrac:         0.05,
+		Seed:           5,
+	}
+}
+
+// ScaleResult is the machine-readable outcome of the scale run.
+type ScaleResult struct {
+	Clients        int
+	Relays         int
+	Drivers        int
+	CellsPerClient int
+
+	CircuitsBuilt int64
+	BuildFailures int64
+	HSOps         int64
+	CellsTotal    int64 // every cell on the wire (forward + backward)
+
+	WallSeconds    float64
+	VirtualSeconds float64
+	CellsPerSec    float64 // wall-clock emulator throughput
+
+	BuildP50Ms float64 // virtual circuit-build latency percentiles
+	BuildP99Ms float64
+
+	Hosts        int
+	BytesPerHost float64 // steady-state heap per simulated host
+	PeakHeapMB   float64
+}
+
+// WriteJSONFile records the result machine-readably so the scale
+// trajectory across PRs can be tracked.
+func (r *ScaleResult) WriteJSONFile(path string) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// String renders the run summary.
+func (r *ScaleResult) String() string {
+	var b strings.Builder
+	b.WriteString("Scale: event-core emulation capacity\n")
+	fmt.Fprintf(&b, "Hosts:                  %d (%d clients, %d relays)\n", r.Hosts, r.Clients, r.Relays)
+	fmt.Fprintf(&b, "Circuits built:         %d (%d failures)\n", r.CircuitsBuilt, r.BuildFailures)
+	fmt.Fprintf(&b, "HS control ops:         %d\n", r.HSOps)
+	fmt.Fprintf(&b, "Cells on the wire:      %d\n", r.CellsTotal)
+	fmt.Fprintf(&b, "Emulator throughput:    %.0f cells/s (wall)\n", r.CellsPerSec)
+	fmt.Fprintf(&b, "Circuit build latency:  p50 %.1f ms, p99 %.1f ms (virtual)\n", r.BuildP50Ms, r.BuildP99Ms)
+	fmt.Fprintf(&b, "Virtual time simulated: %.1f s in %.1f s wall\n", r.VirtualSeconds, r.WallSeconds)
+	fmt.Fprintf(&b, "Memory per host:        %.0f bytes (peak heap %.1f MB)\n", r.BytesPerHost, r.PeakHeapMB)
+	return b.String()
+}
+
+// scaleClient is one lightweight client's driver-side state. It owns no
+// goroutine; a driver walks it through dial → CREATE → pump → close.
+type scaleClient struct {
+	id      int
+	relay   int
+	latency time.Duration
+	built   bool
+}
+
+func heapAfterGC() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// RunScale executes the scale benchmark on the event-driven clock.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 100_000
+	}
+	if cfg.Relays <= 0 {
+		cfg.Relays = 4
+	}
+	if cfg.Drivers <= 0 {
+		cfg.Drivers = 192
+	}
+	if cfg.Drivers > cfg.Clients {
+		cfg.Drivers = cfg.Clients
+	}
+	if cfg.CellsPerClient < 0 {
+		cfg.CellsPerClient = 0
+	}
+
+	clock := simnet.NewEventClock()
+	defer clock.Stop()
+	n := simnet.NewNetwork(clock, 10*time.Millisecond)
+
+	relays := make([]*relay.Relay, cfg.Relays)
+	descs := make([]*dirauth.Descriptor, cfg.Relays)
+	for i := range relays {
+		// 12.5 MB/s uplink (~100 Mbit): backward cells queue under load,
+		// which is what spreads the build-latency distribution.
+		h := n.AddHost(fmt.Sprintf("relay%d", i), 12.5*(1<<20))
+		r, err := relay.New(h, relay.Config{
+			Nickname: fmt.Sprintf("relay%d", i),
+			Flags:    []string{dirauth.FlagGuard},
+			Quiet:    true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		relays[i] = r
+		d, err := r.Descriptor()
+		if err != nil {
+			return nil, err
+		}
+		descs[i] = d
+	}
+
+	heapBefore := heapAfterGC()
+	var peakHeap atomic.Uint64
+	samplerDone := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-samplerDone:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peakHeap.Load() {
+					peakHeap.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	clients := make([]scaleClient, cfg.Clients)
+	hsEvery := 0
+	if cfg.HSFrac > 0 {
+		hsEvery = int(1 / cfg.HSFrac)
+	}
+
+	var built, failures, hsOps, cells atomic.Int64
+	var next atomic.Int64
+	start := time.Now()
+
+	driver := func() {
+		payload := make([]byte, 64) // cover-cell payload
+		wire := make([]byte, cell.Size)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= cfg.Clients {
+				return
+			}
+			sc := &clients[i]
+			sc.id = i
+			sc.relay = i % cfg.Relays
+			rd := descs[sc.relay]
+			host := n.AddHost(fmt.Sprintf("c%06d", i), 1<<20)
+			// Spread propagation delays 5–50ms so builds don't all tie.
+			n.SetDelay(host.Name(), rd.Nickname, time.Duration(5+i%45)*time.Millisecond)
+
+			t0 := clock.Now()
+			conn, err := host.Dial(fmt.Sprintf("%s:%d", rd.Nickname, relay.ORPort))
+			if err != nil {
+				failures.Add(1)
+				continue
+			}
+			hs, msg, err := otr.NewClientHandshake([]byte(rd.Fingerprint()), rd.OnionKey)
+			if err != nil {
+				failures.Add(1)
+				conn.Close()
+				continue
+			}
+			circID := uint32(i + 1)
+			create := &cell.Cell{CircID: circID, Cmd: cell.CmdCreate}
+			copy(create.Payload[:], msg)
+			if err := cell.Write(conn, create); err != nil {
+				failures.Add(1)
+				conn.Close()
+				continue
+			}
+			conn.SetReadDeadline(time.Now().Add(60 * time.Second))
+			created, err := cell.Read(conn)
+			if err != nil || created.Cmd != cell.CmdCreated {
+				failures.Add(1)
+				conn.Close()
+				continue
+			}
+			keys, err := hs.Finish(created.Payload[:otr.PublicKeyLen+otr.AuthLen])
+			if err != nil {
+				failures.Add(1)
+				conn.Close()
+				continue
+			}
+			layer, err := otr.NewLayer(keys)
+			if err != nil {
+				failures.Add(1)
+				conn.Close()
+				continue
+			}
+			sc.latency = clock.Now() - t0
+			sc.built = true
+			built.Add(1)
+			cells.Add(2) // CREATE + CREATED
+
+			sendRelay := func(hdr cell.RelayHeader, data []byte, async bool) error {
+				c := &cell.Cell{CircID: circID, Cmd: cell.CmdRelay}
+				if err := cell.PackRelay(c.Payload[:], hdr, data); err != nil {
+					return err
+				}
+				layer.SealForward(c.Payload[:], cell.DigestOffset)
+				layer.ApplyForward(c.Payload[:])
+				cells.Add(1)
+				if async {
+					c.EncodeInto(wire)
+					return conn.(simnet.LightConn).WriteAsync(wire)
+				}
+				return cell.Write(conn, c)
+			}
+
+			if hsEvery > 0 && i%hsEvery == 0 {
+				// HS-side duty: park a rendezvous cookie on the relay and
+				// wait for the acknowledgment.
+				cookie := make([]byte, 16)
+				binary.BigEndian.PutUint64(cookie, uint64(cfg.Seed))
+				binary.BigEndian.PutUint64(cookie[8:], uint64(i))
+				est, err := cell.EncodeControl(&cell.EstablishRendezvousPayload{Cookie: cookie})
+				if err == nil && sendRelay(cell.RelayHeader{Cmd: cell.RelayEstablishRendezvous}, est, false) == nil {
+					if ack, err := cell.Read(conn); err == nil && ack.Cmd == cell.CmdRelay {
+						layer.ApplyBackward(ack.Payload[:])
+						if cell.Recognized(ack.Payload[:]) && layer.VerifyBackward(ack.Payload[:], cell.DigestOffset) {
+							if hdr, _, err := cell.ParseRelay(ack.Payload[:]); err == nil && hdr.Cmd == cell.RelayRendezvousEstablished {
+								hsOps.Add(1)
+								cells.Add(1)
+							}
+						}
+					}
+				}
+			}
+
+			// Cover-traffic pump through the event-native path: WriteAsync
+			// folds egress pacing into delivery timestamps, so the driver
+			// never blocks here.
+			for k := 0; k < cfg.CellsPerClient; k++ {
+				if err := sendRelay(cell.RelayHeader{Cmd: cell.RelayDrop}, payload, true); err != nil {
+					break
+				}
+			}
+			conn.Close()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for d := 0; d < cfg.Drivers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			driver()
+		}()
+	}
+	wg.Wait()
+	// Let in-flight deliveries and relay-side teardown drain.
+	clock.Sleep(30 * time.Second)
+
+	wall := time.Since(start).Seconds()
+	virtual := clock.Now().Seconds()
+	close(samplerDone)
+
+	heapAfter := heapAfterGC()
+	if h := peakHeap.Load(); heapAfter > h {
+		peakHeap.Store(heapAfter)
+	}
+
+	res := &ScaleResult{
+		Clients:        cfg.Clients,
+		Relays:         cfg.Relays,
+		Drivers:        cfg.Drivers,
+		CellsPerClient: cfg.CellsPerClient,
+		CircuitsBuilt:  built.Load(),
+		BuildFailures:  failures.Load(),
+		HSOps:          hsOps.Load(),
+		CellsTotal:     cells.Load(),
+		WallSeconds:    wall,
+		VirtualSeconds: virtual,
+		Hosts:          cfg.Clients + cfg.Relays,
+	}
+	if wall > 0 {
+		res.CellsPerSec = float64(res.CellsTotal) / wall
+	}
+	var grew float64
+	if heapAfter > heapBefore {
+		grew = float64(heapAfter - heapBefore)
+	}
+	res.BytesPerHost = grew / float64(cfg.Clients)
+	res.PeakHeapMB = float64(peakHeap.Load()) / (1 << 20)
+
+	lats := make([]float64, 0, cfg.Clients)
+	for i := range clients {
+		if clients[i].built {
+			lats = append(lats, float64(clients[i].latency)/float64(time.Millisecond))
+		}
+	}
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		res.BuildP50Ms = lats[len(lats)/2]
+		res.BuildP99Ms = lats[(len(lats)*99)/100]
+	}
+	if res.CircuitsBuilt == 0 {
+		return res, fmt.Errorf("scale: no circuit ever built (%d failures)", res.BuildFailures)
+	}
+	return res, nil
+}

@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestScaleShape runs a scaled-down scale experiment end to end: every
+// client must complete a real CREATE handshake on the event core, the
+// HS fraction must land its rendezvous ops, and latency percentiles
+// must be ordered and positive.
+func TestScaleShape(t *testing.T) {
+	cfg := ScaleConfig{
+		Clients:        400,
+		Relays:         2,
+		Drivers:        32,
+		CellsPerClient: 3,
+		HSFrac:         0.1,
+		Seed:           7,
+		Quiet:          true,
+	}
+	res, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if res.CircuitsBuilt != int64(cfg.Clients) || res.BuildFailures != 0 {
+		t.Fatalf("built %d circuits with %d failures, want %d/0",
+			res.CircuitsBuilt, res.BuildFailures, cfg.Clients)
+	}
+	if res.HSOps != int64(cfg.Clients/10) {
+		t.Fatalf("HS ops = %d, want %d", res.HSOps, cfg.Clients/10)
+	}
+	// CREATE+CREATED per client, an ESTABLISH_RENDEZVOUS+ack per HS
+	// client, and the cover pump.
+	wantCells := int64(cfg.Clients*(2+cfg.CellsPerClient)) + 2*res.HSOps
+	if res.CellsTotal != wantCells {
+		t.Fatalf("cells = %d, want %d", res.CellsTotal, wantCells)
+	}
+	if res.BuildP50Ms <= 0 || res.BuildP99Ms < res.BuildP50Ms {
+		t.Fatalf("latency percentiles out of order: p50=%.1f p99=%.1f",
+			res.BuildP50Ms, res.BuildP99Ms)
+	}
+	if res.VirtualSeconds <= 0 {
+		t.Fatal("virtual clock never advanced")
+	}
+}

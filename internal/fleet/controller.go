@@ -323,13 +323,18 @@ func (c *Controller) WaitConverged(timeout time.Duration) error {
 // action result, until Close.
 func (c *Controller) run() {
 	for {
+		unblock := c.clock.Blocking()
 		select {
 		case <-c.done:
+			unblock()
 			return
 		case r := <-c.results:
+			unblock()
 			c.handleResult(r)
 		case <-c.wake:
+			unblock()
 		case <-c.clock.After(c.cfg.Interval):
+			unblock()
 		}
 		c.reconcile()
 	}

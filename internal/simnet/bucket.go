@@ -54,12 +54,17 @@ func (tb *TokenBucket) SetRate(rate float64) {
 	tb.rate = rate
 }
 
-// Backlog reports the bytes accepted by in-flight Take calls that are
-// still waiting on tokens — the depth of the virtual NIC queue.
+// Backlog reports the bytes accepted but not yet granted — blocked Take
+// callers plus any Reserve deficit — the depth of the virtual NIC queue.
 func (tb *TokenBucket) Backlog() int64 {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
-	return int64(tb.waiting)
+	tb.refillLocked()
+	b := tb.waiting
+	if tb.tokens < 0 {
+		b -= tb.tokens
+	}
+	return int64(b)
 }
 
 // setObs attaches a histogram recording per-Take throttle waits (virtual
@@ -73,16 +78,26 @@ func (tb *TokenBucket) setObs(wait *obs.Histogram) {
 // Take blocks until n bytes worth of tokens have been consumed. Large
 // requests are split into burst-sized chunks so that concurrent callers
 // interleave rather than serialize behind one huge acquisition.
-func (tb *TokenBucket) Take(n int) {
+func (tb *TokenBucket) Take(n int) { tb.TakeUntil(n, 0) }
+
+// TakeUntil acquires like Take but gives up at the given virtual
+// deadline (an instant on the bucket's clock; 0 means no deadline). It
+// reports false when the deadline struck before the full acquisition.
+func (tb *TokenBucket) TakeUntil(n int, deadline time.Duration) bool {
 	if n <= 0 {
-		return
+		return true
 	}
 	remaining := float64(n)
 	var waited time.Duration
+	ok := true
 	tb.mu.Lock()
 	tb.waiting += remaining
 	for remaining > 0 {
 		if tb.rate <= 0 {
+			break
+		}
+		if deadline > 0 && tb.clock.Now() >= deadline {
+			ok = false
 			break
 		}
 		chunk := math.Min(remaining, tb.burst)
@@ -95,6 +110,11 @@ func (tb *TokenBucket) Take(n int) {
 		} else {
 			deficit := chunk - tb.tokens
 			wait = time.Duration(deficit / tb.rate * float64(time.Second))
+			if deadline > 0 {
+				if left := deadline - tb.clock.Now(); wait > left {
+					wait = left
+				}
+			}
 		}
 		if wait > 0 {
 			tb.mu.Unlock()
@@ -103,14 +123,37 @@ func (tb *TokenBucket) Take(n int) {
 			tb.mu.Lock()
 		}
 	}
-	// Anything skipped because the rate dropped to unlimited mid-Take is
-	// no longer queued.
+	// Anything skipped (rate dropped to unlimited mid-Take, or deadline)
+	// is no longer queued.
 	tb.waiting -= remaining
 	h := tb.obsWait
 	tb.mu.Unlock()
 	if waited > 0 {
 		h.ObserveDuration(waited)
 	}
+	return ok
+}
+
+// Reserve consumes n bytes immediately, letting the bucket run a
+// deficit, and returns the virtual delay until that deficit refills.
+// Event-native writers fold the returned pacing delay into delivery
+// timestamps instead of blocking, so a WriteAsync never parks a
+// goroutine yet still respects the host's uplink rate.
+func (tb *TokenBucket) Reserve(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.rate <= 0 {
+		return 0
+	}
+	tb.refillLocked()
+	tb.tokens -= float64(n)
+	if tb.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-tb.tokens / tb.rate * float64(time.Second))
 }
 
 func (tb *TokenBucket) refillLocked() {

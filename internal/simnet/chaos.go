@@ -32,10 +32,6 @@ type Faults struct {
 
 const defaultRetransDelay = 250 * time.Millisecond
 
-// partitionPoll is how often a stalled delivery re-checks a partitioned
-// link for healing.
-const partitionPoll = 10 * time.Millisecond
-
 // Chaos is the network's fault-injection controller. All draws come from
 // RNGs derived from one seed: dial-level faults from a shared sequence,
 // chunk-level faults from a per-connection sequence (so one connection's
@@ -54,8 +50,14 @@ type Chaos struct {
 	defaults    Faults
 	links       map[[2]string]Faults // directed [from, to]
 	partitioned map[[2]string]bool   // directed [from, to]
+	// healWaiters holds the resume callbacks of transmit machines stalled
+	// on a partitioned link; Heal schedules them as events (no polling).
+	healWaiters map[[2]string][]func()
 	down        map[string]bool
 	connSeq     int64
+
+	logEnabled bool
+	eventLog   []string
 }
 
 // EnableChaos attaches a fault-injection controller to the network,
@@ -68,6 +70,7 @@ func (n *Network) EnableChaos(seed int64) *Chaos {
 		rng:         rand.New(rand.NewSource(seed)),
 		links:       make(map[[2]string]Faults),
 		partitioned: make(map[[2]string]bool),
+		healWaiters: make(map[[2]string][]func()),
 		down:        make(map[string]bool),
 	}
 	if !n.chaos.CompareAndSwap(nil, c) {
@@ -110,20 +113,62 @@ func (c *Chaos) Partition(a, b string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.partitioned[[2]string{a, b}] = true
+	c.logLocked("partition %s->%s", a, b)
 }
 
-// Heal removes the directed partition a→b.
+// Heal removes the directed partition a→b. Transmit machines stalled on
+// the link resume via scheduled events.
 func (c *Chaos) Heal(a, b string) {
+	key := [2]string{a, b}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.partitioned, [2]string{a, b})
+	delete(c.partitioned, key)
+	waiters := c.healWaiters[key]
+	delete(c.healWaiters, key)
+	c.logLocked("heal %s->%s waiters=%d", a, b, len(waiters))
+	c.mu.Unlock()
+	c.scheduleResumes(waiters)
 }
 
-// HealAll removes every partition.
+// HealAll removes every partition and resumes everything stalled.
 func (c *Chaos) HealAll() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.partitioned = make(map[[2]string]bool)
+	var waiters []func()
+	for _, ws := range c.healWaiters {
+		waiters = append(waiters, ws...)
+	}
+	c.healWaiters = make(map[[2]string][]func())
+	c.logLocked("healall waiters=%d", len(waiters))
+	c.mu.Unlock()
+	c.scheduleResumes(waiters)
+}
+
+// onHeal registers a resume callback for a transmit machine stalled on
+// the directed link. If the link is no longer partitioned (the heal
+// raced the stall), resume runs immediately.
+func (c *Chaos) onHeal(from, to string, resume func()) {
+	key := [2]string{from, to}
+	c.mu.Lock()
+	if !c.partitioned[key] {
+		c.mu.Unlock()
+		resume()
+		return
+	}
+	c.healWaiters[key] = append(c.healWaiters[key], resume)
+	c.logLocked("stall %s->%s", from, to)
+	c.mu.Unlock()
+	if m := c.net.metrics(); m != nil {
+		m.chaosPartitionStall.Inc()
+	}
+}
+
+// scheduleResumes fires stall-resume callbacks as zero-delay events so
+// deliveries released by a heal are ordered by the scheduler rather
+// than by whichever goroutine called Heal.
+func (c *Chaos) scheduleResumes(waiters []func()) {
+	for _, fn := range waiters {
+		c.net.clock.AfterFunc(0, fn)
+	}
 }
 
 // CrashHost simulates the host's machine dying: every live connection
@@ -133,6 +178,7 @@ func (c *Chaos) HealAll() {
 func (c *Chaos) CrashHost(name string) {
 	c.mu.Lock()
 	c.down[name] = true
+	c.logLocked("crash %s", name)
 	c.mu.Unlock()
 	if m := c.net.metrics(); m != nil {
 		m.chaosCrashes.Inc()
@@ -147,6 +193,7 @@ func (c *Chaos) CrashHost(name string) {
 func (c *Chaos) RestartHost(name string) {
 	c.mu.Lock()
 	delete(c.down, name)
+	c.logLocked("restart %s", name)
 	c.mu.Unlock()
 	if m := c.net.metrics(); m != nil {
 		m.chaosRestarts.Inc()
@@ -182,16 +229,19 @@ func (c *Chaos) dialErr(from, to string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.down[from] || c.down[to] {
+		c.logLocked("dialfail-down %s->%s", from, to)
 		return fmt.Errorf("simnet: host down: %s", pickDown(c.down, from, to))
 	}
 	if from == to {
 		return nil // loopback carries no link faults
 	}
 	if c.partitioned[[2]string{from, to}] || c.partitioned[[2]string{to, from}] {
+		c.logLocked("dialfail-partition %s->%s", from, to)
 		return fmt.Errorf("simnet: network partition between %s and %s", from, to)
 	}
 	f := c.faultsForLocked(from, to)
 	if f.DialFailProb > 0 && c.rng.Float64() < f.DialFailProb {
+		c.logLocked("dialfail-chaos %s->%s", from, to)
 		return fmt.Errorf("simnet: connection lost dialing %s from %s (chaos)", to, from)
 	}
 	return nil
@@ -224,11 +274,13 @@ func (c *Chaos) chunkFaults(rng *rand.Rand, from, to string) (extra time.Duratio
 	if from == to {
 		return 0, false
 	}
+	m := c.net.metrics()
+	var losses, jitters bool
 	c.mu.Lock()
 	f := c.faultsForLocked(from, to)
-	c.mu.Unlock()
-	m := c.net.metrics()
 	if f.BreakProb > 0 && rng.Float64() < f.BreakProb {
+		c.logLocked("break %s->%s", from, to)
+		c.mu.Unlock()
 		if m != nil {
 			m.chaosBreaks.Inc()
 		}
@@ -240,13 +292,21 @@ func (c *Chaos) chunkFaults(rng *rand.Rand, from, to string) (extra time.Duratio
 			d = defaultRetransDelay
 		}
 		extra += d
-		if m != nil {
-			m.chaosLosses.Inc()
-		}
+		losses = true
+		c.logLocked("loss %s->%s extra=%d", from, to, int64(d))
 	}
 	if f.JitterMax > 0 {
-		extra += time.Duration(rng.Int63n(int64(f.JitterMax)))
-		if m != nil {
+		j := time.Duration(rng.Int63n(int64(f.JitterMax)))
+		extra += j
+		jitters = true
+		c.logLocked("jitter %s->%s extra=%d", from, to, int64(j))
+	}
+	c.mu.Unlock()
+	if m != nil {
+		if losses {
+			m.chaosLosses.Inc()
+		}
+		if jitters {
 			m.chaosJitters.Inc()
 		}
 	}
@@ -263,24 +323,27 @@ func (c *Chaos) blocked(from, to string) bool {
 	return c.partitioned[[2]string{from, to}]
 }
 
-// awaitLink stalls until the directed link is deliverable or the
-// connection closes, polling in virtual time. It returns false when the
-// connection closed while stalled.
-func (c *Chaos) awaitLink(from, to string, closed <-chan struct{}) bool {
-	stalled := false
-	for c.blocked(from, to) {
-		if !stalled {
-			stalled = true
-			if m := c.net.metrics(); m != nil {
-				m.chaosPartitionStall.Inc()
-			}
-		}
-		select {
-		case <-closed:
-			return false
-		default:
-		}
-		c.net.clock.Sleep(partitionPoll)
+// EnableEventLog starts recording every chaos decision (fault draws,
+// partitions, stalls, heals, crashes) with its virtual timestamp. Used
+// by the determinism regression test: on the event core the same seed
+// and a deterministic workload must reproduce the log byte-for-byte.
+func (c *Chaos) EnableEventLog() {
+	c.mu.Lock()
+	c.logEnabled = true
+	c.mu.Unlock()
+}
+
+// EventLog returns a copy of the recorded chaos event log.
+func (c *Chaos) EventLog() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.eventLog...)
+}
+
+func (c *Chaos) logLocked(format string, args ...any) {
+	if !c.logEnabled {
+		return
 	}
-	return true
+	line := fmt.Sprintf("t=%d ", c.net.clock.Now().Nanoseconds()) + fmt.Sprintf(format, args...)
+	c.eventLog = append(c.eventLog, line)
 }

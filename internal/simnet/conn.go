@@ -11,62 +11,107 @@ import (
 )
 
 const (
-	// readBufMax bounds the receiver-side buffer; deliveries block when it
-	// is full, providing end-to-end flow control.
+	// readBufMax bounds the receiver-side buffer; the sender's delivery
+	// state machine pauses while it is full, providing end-to-end flow
+	// control.
 	readBufMax = 1 << 20
-	// outQueueLen bounds the number of in-flight chunks per direction.
+	// outQueueLen bounds the number of in-flight chunks per direction on
+	// the blocking Write path.
 	outQueueLen = 64
+	// maxChunk is the largest unit a Write is split into.
+	maxChunk = 32 * 1024
 )
 
-type chunk struct {
+// txChunk is one queued transmission: either a data chunk stamped with
+// its virtual delivery time, or the EOF marker a Close enqueues behind
+// the in-flight data.
+type txChunk struct {
 	data []byte
 	at   time.Duration // virtual delivery time
+	eof  bool
 }
 
-// conn is one endpoint of an emulated connection.
+// conn is one endpoint of an emulated connection. Since the event-core
+// refactor it owns no goroutines: the transmit side is a state machine
+// whose pending queue is drained by clock timers (delivery events), and
+// blocked Read/Write callers park on one-shot tokens that those events
+// wake. The same state machine runs on both clock cores — under the
+// legacy core the "events" are scaled real timers.
 type conn struct {
 	localHost  *Host
 	remoteHost *Host
 	local      addr
 	remote     addr
 	peer       *conn
+	clock      *Clock
 
-	// chaosRng draws this endpoint's chunk-level faults under chaosMu;
+	mu sync.Mutex
+
+	// chaosRng draws this endpoint's chunk-level faults (guarded by mu);
 	// nil when chaos is disabled.
-	chaosMu  sync.Mutex
 	chaosRng *rand.Rand
 
-	out       chan chunk
-	closeOnce sync.Once
-	closed    chan struct{}
+	// Receive side.
+	buf           bytes.Buffer
+	eof           bool // peer closed; EOF after buffer drains
+	deliverFn     func(data []byte, eof bool)
+	readers       []*parker
+	hasRDeadline  bool
+	rDeadline     time.Duration // virtual instant
+	rdTimer       *VTimer
+	senderWaiting bool // peer's tx paused until our buffer drains
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	buf      bytes.Buffer
-	eof      bool // peer closed; EOF after buffer drains
-	deadline time.Time
+	// Transmit side (state machine).
+	txq          []txChunk
+	txScheduled  bool          // a delivery timer for the head is armed
+	txStalled    bool          // head blocked on a partition; heal wake registered
+	txWaitDrain  bool          // paused until the peer's buffer drains
+	lastAt       time.Duration // monotone delivery stamp (FIFO head-of-line)
+	writers      []*parker
+	hasWDeadline bool
+	wDeadline    time.Duration // virtual instant
+	wdTimer      *VTimer
+
+	closed bool
 }
 
-// newConnPair builds both endpoints and starts their transmit goroutines.
+// LightConn is the event-native face of a simnet connection: endpoints
+// that want to exist without a goroutine (the -exp scale clients and
+// relays) receive deliveries through a callback instead of blocking in
+// Read, and write without parking the caller. Obtain it by type
+// assertion on the net.Conn returned from Dial/Accept.
+type LightConn interface {
+	net.Conn
+	// SetDeliverFunc routes deliveries to fn instead of the read buffer.
+	// fn runs in timer/dispatcher context and must not block; under the
+	// event core all callbacks are serialized on the dispatcher. Any
+	// bytes already buffered are handed to fn immediately. A nil fn
+	// restores buffered reads.
+	SetDeliverFunc(fn func(data []byte, eof bool))
+	// WriteAsync queues p for delivery without ever blocking the caller:
+	// egress pacing is folded into the delivery timestamp (a bucket
+	// reservation) rather than waited out. Safe to call from a deliver
+	// callback.
+	WriteAsync(p []byte) error
+}
+
+// newConnPair builds both endpoints. No goroutines are started; traffic
+// moves when Writes schedule delivery events.
 func newConnPair(client, server *Host, cport, sport int) (*conn, *conn) {
 	cl := &conn{
 		localHost:  client,
 		remoteHost: server,
 		local:      addr{client.name, cport},
 		remote:     addr{server.name, sport},
-		out:        make(chan chunk, outQueueLen),
-		closed:     make(chan struct{}),
+		clock:      client.net.clock,
 	}
 	sv := &conn{
 		localHost:  server,
 		remoteHost: client,
 		local:      addr{server.name, sport},
 		remote:     addr{client.name, cport},
-		out:        make(chan chunk, outQueueLen),
-		closed:     make(chan struct{}),
+		clock:      server.net.clock,
 	}
-	cl.cond = sync.NewCond(&cl.mu)
-	sv.cond = sync.NewCond(&sv.mu)
 	cl.peer = sv
 	sv.peer = cl
 	if ch := client.net.Chaos(); ch != nil {
@@ -75,141 +120,285 @@ func newConnPair(client, server *Host, cport, sport int) (*conn, *conn) {
 	}
 	client.registerConn(cl)
 	server.registerConn(sv)
-	go cl.transmit()
-	go sv.transmit()
 	return cl, sv
 }
 
-// transmit moves written chunks to the peer's read buffer, honoring each
-// chunk's virtual delivery time. Chunks are stamped at Write time, so
-// pipelined writes overlap their propagation delays instead of
-// serializing. On close it drains chunks already accepted for
-// transmission (in-flight data arrives before the peer sees EOF), then
-// signals EOF.
-func (c *conn) transmit() {
-	clock := c.localHost.Clock()
-	deliver := func(ch chunk) {
-		if d := ch.at - clock.Now(); d > 0 {
-			clock.Sleep(d)
+// wakeReadersLocked releases every parked reader (they re-check state).
+func (c *conn) wakeReadersLocked() {
+	for _, p := range c.readers {
+		p.wake()
+	}
+	c.readers = nil
+}
+
+// wakeWritersLocked releases every parked writer.
+func (c *conn) wakeWritersLocked() {
+	for _, p := range c.writers {
+		p.wake()
+	}
+	c.writers = nil
+}
+
+// enqueueLocked appends a transmission and arms the delivery timer if
+// the state machine is idle. Delivery stamps are monotone per conn: a
+// chunk delayed by a chaos retransmission holds back everything behind
+// it, like TCP head-of-line blocking.
+func (c *conn) enqueueLocked(data []byte, at time.Duration, eof bool) {
+	if at < c.lastAt {
+		at = c.lastAt
+	}
+	c.lastAt = at
+	c.txq = append(c.txq, txChunk{data: data, at: at, eof: eof})
+	if !c.txScheduled && !c.txStalled && !c.txWaitDrain {
+		c.armTxLocked()
+	}
+}
+
+// armTxLocked schedules the head chunk's delivery event.
+func (c *conn) armTxLocked() {
+	c.txScheduled = true
+	d := c.txq[0].at - c.clock.Now()
+	c.clock.AfterFunc(d, c.txFire)
+}
+
+// txFire is the delivery event: it drains every due chunk, pausing on
+// partitions (rescheduled by a heal event) and on a full peer buffer
+// (rescheduled by the peer's reader draining it).
+func (c *conn) txFire() {
+	c.mu.Lock()
+	for {
+		if len(c.txq) == 0 {
+			c.txScheduled = false
+			c.txq = nil
+			c.mu.Unlock()
+			return
 		}
-		if chaos := c.localHost.net.Chaos(); chaos != nil {
-			// A partitioned link stalls delivery (TCP retransmits until
-			// the partition heals) rather than dropping bytes.
-			if !chaos.awaitLink(c.localHost.name, c.remoteHost.name, c.closed) {
+		head := c.txq[0]
+		if d := head.at - c.clock.Now(); d > 0 {
+			c.armTxLocked()
+			c.mu.Unlock()
+			return
+		}
+		if !head.eof && c.localHost != c.remoteHost {
+			if chaos := c.localHost.net.Chaos(); chaos != nil && chaos.blocked(c.localHost.name, c.remoteHost.name) {
+				// A partitioned link stalls delivery (TCP retransmits
+				// until the partition heals) rather than dropping bytes.
+				// The heal schedules txResume; no polling.
+				c.txScheduled = false
+				c.txStalled = true
+				c.mu.Unlock()
+				chaos.onHeal(c.localHost.name, c.remoteHost.name, c.txResume)
 				return
 			}
 		}
-		c.peer.deliver(ch.data)
-	}
-	for {
-		select {
-		case ch := <-c.out:
-			deliver(ch)
-		case <-c.closed:
-			for {
-				select {
-				case ch := <-c.out:
-					deliver(ch)
-				default:
-					c.peer.deliverEOF()
-					return
-				}
+		c.txq = c.txq[1:]
+		c.wakeWritersLocked()
+		c.mu.Unlock()
+
+		var full bool
+		if head.eof {
+			c.peer.deliverEOF()
+		} else {
+			full = c.peer.deliver(head.data)
+		}
+
+		c.mu.Lock()
+		if full {
+			c.txScheduled = false
+			c.txWaitDrain = true
+			c.mu.Unlock()
+			if c.peer.requestDrainWake() {
+				c.txResume()
 			}
+			return
 		}
 	}
 }
 
-func (c *conn) deliver(data []byte) {
+// txResume re-arms the delivery timer after a stall (partition heal,
+// peer drain, or a fresh enqueue racing a pause). Idempotent.
+func (c *conn) txResume() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for c.buf.Len() > readBufMax && !c.eof && !c.isClosed() {
-		c.cond.Wait()
+	c.txStalled = false
+	c.txWaitDrain = false
+	if !c.txScheduled && len(c.txq) > 0 {
+		c.armTxLocked()
 	}
-	if c.isClosed() {
-		return
+	c.mu.Unlock()
+}
+
+// deliver appends data to the read buffer (or hands it to the deliver
+// callback) and reports whether the buffer is over its flow-control
+// limit.
+func (c *conn) deliver(data []byte) (full bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	if fn := c.deliverFn; fn != nil {
+		c.mu.Unlock()
+		fn(data, false)
+		return false
 	}
 	c.buf.Write(data)
-	c.cond.Broadcast()
+	c.wakeReadersLocked()
+	full = c.buf.Len() > readBufMax
+	c.mu.Unlock()
+	return full
+}
+
+// requestDrainWake registers the peer's paused transmit machine for a
+// wake when our buffer drains. It reports true when the buffer already
+// has room (or we closed), in which case the caller resumes itself.
+func (c *conn) requestDrainWake() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.deliverFn != nil || c.buf.Len() <= readBufMax {
+		return true
+	}
+	c.senderWaiting = true
+	return false
 }
 
 func (c *conn) deliverEOF() {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
 	c.eof = true
-	c.cond.Broadcast()
+	c.wakeReadersLocked()
+	fn := c.deliverFn
 	c.mu.Unlock()
+	if fn != nil {
+		fn(nil, true)
+	}
 }
 
-func (c *conn) isClosed() bool {
-	select {
-	case <-c.closed:
-		return true
-	default:
-		return false
+// SetDeliverFunc implements LightConn.
+func (c *conn) SetDeliverFunc(fn func(data []byte, eof bool)) {
+	c.mu.Lock()
+	c.deliverFn = fn
+	var pending []byte
+	if fn != nil && c.buf.Len() > 0 {
+		pending = append([]byte(nil), c.buf.Bytes()...)
+		c.buf.Reset()
+	}
+	resume := fn != nil && c.senderWaiting
+	if resume {
+		c.senderWaiting = false
+	}
+	c.mu.Unlock()
+	if len(pending) > 0 {
+		fn(pending, false)
+	}
+	if resume {
+		c.peer.txResume()
 	}
 }
 
 // Read implements net.Conn.
 func (c *conn) Read(p []byte) (int, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for {
-		if !c.deadline.IsZero() && !time.Now().Before(c.deadline) {
+		if c.hasRDeadline && c.clock.Now() >= c.rDeadline {
+			c.mu.Unlock()
 			return 0, os.ErrDeadlineExceeded
 		}
 		if c.buf.Len() > 0 {
 			n, _ := c.buf.Read(p)
-			c.cond.Broadcast() // wake deliverers waiting on buffer space
+			resume := c.senderWaiting && c.buf.Len() <= readBufMax
+			if resume {
+				c.senderWaiting = false
+			}
+			c.mu.Unlock()
+			if resume {
+				c.peer.txResume()
+			}
 			return n, nil
 		}
-		if c.isClosed() {
+		if c.closed {
+			c.mu.Unlock()
 			return 0, net.ErrClosed
 		}
 		if c.eof {
+			c.mu.Unlock()
 			return 0, io.EOF
 		}
-		c.cond.Wait()
+		pk := c.clock.newParker()
+		c.readers = append(c.readers, pk)
+		c.mu.Unlock()
+		c.clock.park(pk)
+		c.mu.Lock()
 	}
 }
 
 // Write implements net.Conn. It blocks acquiring egress tokens
-// (transmission delay), stamps the chunk's virtual delivery time, and hands
-// it to the transmit goroutine.
+// (transmission delay) and on the in-flight chunk window, stamps each
+// chunk's virtual delivery time, and hands it to the transmit state
+// machine. A write deadline bounds both waits.
 func (c *conn) Write(p []byte) (int, error) {
-	if c.isClosed() {
+	m := c.localHost.net.metrics()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return 0, net.ErrClosed
 	}
-	m := c.localHost.net.metrics()
+	c.mu.Unlock()
 	total := 0
 	for len(p) > 0 {
 		n := len(p)
-		if n > 32*1024 {
-			n = 32 * 1024
+		if n > maxChunk {
+			n = maxChunk
 		}
-		data := make([]byte, n)
-		copy(data, p[:n])
+		c.mu.Lock()
+		for {
+			if c.closed {
+				c.mu.Unlock()
+				return total, net.ErrClosed
+			}
+			if c.hasWDeadline && c.clock.Now() >= c.wDeadline {
+				c.mu.Unlock()
+				return total, os.ErrDeadlineExceeded
+			}
+			if len(c.txq) < outQueueLen {
+				break
+			}
+			pk := c.clock.newParker()
+			c.writers = append(c.writers, pk)
+			c.mu.Unlock()
+			c.clock.park(pk)
+			c.mu.Lock()
+		}
+		var wdl time.Duration
+		if c.hasWDeadline {
+			wdl = c.wDeadline
+		}
+		c.mu.Unlock()
 		if c.localHost != c.remoteHost {
 			// Loopback traffic bypasses the NIC: only inter-host bytes
 			// consume the uplink.
-			c.localHost.egress.Take(n)
-		}
-		at := c.localHost.Clock().Now() +
-			c.localHost.net.Delay(c.localHost.name, c.remoteHost.name)
-		if chaos := c.localHost.net.Chaos(); chaos != nil && c.chaosRng != nil {
-			c.chaosMu.Lock()
-			extra, sever := chaos.chunkFaults(c.chaosRng, c.localHost.name, c.remoteHost.name)
-			c.chaosMu.Unlock()
-			if sever {
-				c.peer.Close()
-				c.Close()
-				return total, net.ErrClosed
+			if !c.localHost.egress.TakeUntil(n, wdl) {
+				return total, os.ErrDeadlineExceeded
 			}
-			at += extra
 		}
-		select {
-		case c.out <- chunk{data: data, at: at}:
-		case <-c.closed:
+		data := make([]byte, n)
+		copy(data, p[:n])
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
 			return total, net.ErrClosed
 		}
+		at, sever := c.stampLocked(n)
+		if sever {
+			c.mu.Unlock()
+			c.peer.Close()
+			c.Close()
+			return total, net.ErrClosed
+		}
+		c.enqueueLocked(data, at, false)
+		c.mu.Unlock()
 		if m != nil {
 			m.bytesSent.Add(int64(n))
 			m.chunksSent.Inc()
@@ -220,18 +409,93 @@ func (c *conn) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// Close implements net.Conn. The peer sees EOF after draining in-flight
-// data; local reads fail immediately. The out channel is never closed —
-// the transmit goroutine observes c.closed instead, so a Write racing
-// with Close fails cleanly rather than panicking.
-func (c *conn) Close() error {
-	c.closeOnce.Do(func() {
-		close(c.closed)
+// WriteAsync implements LightConn.
+func (c *conn) WriteAsync(p []byte) error {
+	m := c.localHost.net.metrics()
+	for len(p) > 0 || len(p) == 0 {
+		n := len(p)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		if n == 0 {
+			return nil
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
 		c.mu.Lock()
-		c.cond.Broadcast()
+		if c.closed {
+			c.mu.Unlock()
+			return net.ErrClosed
+		}
+		var pacing time.Duration
+		if c.localHost != c.remoteHost {
+			pacing = c.localHost.egress.Reserve(n)
+		}
+		at, sever := c.stampLocked(n)
+		if sever {
+			c.mu.Unlock()
+			c.peer.Close()
+			c.Close()
+			return net.ErrClosed
+		}
+		c.enqueueLocked(data, at+pacing, false)
 		c.mu.Unlock()
-		c.localHost.unregisterConn(c)
-	})
+		if m != nil {
+			m.bytesSent.Add(int64(n))
+			m.chunksSent.Inc()
+		}
+		p = p[n:]
+	}
+	return nil
+}
+
+// stampLocked computes a chunk's virtual delivery time (propagation
+// delay plus any chaos-injected latency) and whether chaos severs the
+// connection instead.
+func (c *conn) stampLocked(n int) (at time.Duration, sever bool) {
+	at = c.clock.Now() + c.localHost.net.Delay(c.localHost.name, c.remoteHost.name)
+	if chaos := c.localHost.net.Chaos(); chaos != nil && c.chaosRng != nil {
+		extra, cut := chaos.chunkFaults(c.chaosRng, c.localHost.name, c.remoteHost.name)
+		if cut {
+			return 0, true
+		}
+		at += extra
+	}
+	return at, false
+}
+
+// Close implements net.Conn. The peer sees EOF after draining in-flight
+// data (the EOF marker rides the transmit queue behind it); local reads
+// fail immediately.
+func (c *conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	eofAt := c.lastAt
+	if now := c.clock.Now(); eofAt < now {
+		eofAt = now
+	}
+	c.enqueueLocked(nil, eofAt, true)
+	c.wakeReadersLocked()
+	c.wakeWritersLocked()
+	resume := c.senderWaiting
+	c.senderWaiting = false
+	if c.rdTimer != nil {
+		c.rdTimer.Stop()
+		c.rdTimer = nil
+	}
+	if c.wdTimer != nil {
+		c.wdTimer.Stop()
+		c.wdTimer = nil
+	}
+	c.mu.Unlock()
+	if resume {
+		c.peer.txResume()
+	}
+	c.localHost.unregisterConn(c)
 	return nil
 }
 
@@ -241,29 +505,74 @@ func (c *conn) LocalAddr() net.Addr { return c.local }
 // RemoteAddr implements net.Conn.
 func (c *conn) RemoteAddr() net.Addr { return c.remote }
 
-// SetDeadline implements net.Conn (read side only; writes are paced by the
-// emulator and complete promptly at emulation scale).
-func (c *conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+// SetDeadline implements net.Conn, covering both directions.
+func (c *conn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
+
+// virtualUntil converts a wall-clock deadline into (virtual instant,
+// virtual delay from now). Callers pass wall times — the net.Conn
+// contract — and all waiting happens in the virtual domain, so the
+// semantics are identical on both clock cores.
+func (c *conn) virtualUntil(t time.Time) (time.Duration, time.Duration) {
+	wall := time.Until(t)
+	if wall < 0 {
+		wall = 0
+	}
+	v := c.clock.Virtual(wall)
+	return c.clock.Now() + v, v
+}
 
 // SetReadDeadline implements net.Conn.
 func (c *conn) SetReadDeadline(t time.Time) error {
 	c.mu.Lock()
-	c.deadline = t
-	c.cond.Broadcast()
-	c.mu.Unlock()
-	if !t.IsZero() {
-		d := time.Until(t)
-		if d < 0 {
-			d = 0
-		}
-		time.AfterFunc(d, func() {
-			c.mu.Lock()
-			c.cond.Broadcast()
-			c.mu.Unlock()
-		})
+	defer c.mu.Unlock()
+	if c.rdTimer != nil {
+		c.rdTimer.Stop()
+		c.rdTimer = nil
 	}
+	if t.IsZero() {
+		c.hasRDeadline = false
+		c.wakeReadersLocked()
+		return nil
+	}
+	var wake time.Duration
+	c.hasRDeadline = true
+	c.rDeadline, wake = c.virtualUntil(t)
+	c.wakeReadersLocked()
+	c.rdTimer = c.clock.AfterFunc(wake, func() {
+		c.mu.Lock()
+		c.wakeReadersLocked()
+		c.mu.Unlock()
+	})
 	return nil
 }
 
-// SetWriteDeadline implements net.Conn as a no-op; see SetDeadline.
-func (c *conn) SetWriteDeadline(time.Time) error { return nil }
+// SetWriteDeadline implements net.Conn: it bounds the egress-pacing and
+// flow-control waits of a blocked Write.
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wdTimer != nil {
+		c.wdTimer.Stop()
+		c.wdTimer = nil
+	}
+	if t.IsZero() {
+		c.hasWDeadline = false
+		c.wakeWritersLocked()
+		return nil
+	}
+	var wake time.Duration
+	c.hasWDeadline = true
+	c.wDeadline, wake = c.virtualUntil(t)
+	c.wakeWritersLocked()
+	c.wdTimer = c.clock.AfterFunc(wake, func() {
+		c.mu.Lock()
+		c.wakeWritersLocked()
+		c.mu.Unlock()
+	})
+	return nil
+}

@@ -11,7 +11,7 @@ import (
 // by the telemetry gauges: per-host live endpoint counts and egress
 // token-bucket backlog, plus the registry gauges built on them.
 func TestQueueIntrospection(t *testing.T) {
-	clock := NewClock(0.001)
+	clock := eventClock(t)
 	n := NewNetwork(clock, 1*time.Millisecond)
 	reg := obs.NewRegistry()
 	reg.SetClock(clock.Now)
@@ -66,13 +66,13 @@ func TestQueueIntrospection(t *testing.T) {
 		defer close(done)
 		c.Write(make([]byte, 256*1024))
 	}()
-	deadline := time.After(10 * time.Second)
-	for src.EgressBacklog() == 0 {
-		select {
-		case <-deadline:
+	// Clock-driven wait: virtual milliseconds, so this is instant on the
+	// event core and cannot flake under load.
+	for i := 0; src.EgressBacklog() == 0; i++ {
+		if i > 10000 {
 			t.Fatal("egress backlog never became visible")
-		case <-time.After(time.Millisecond):
 		}
+		clock.Sleep(time.Millisecond)
 	}
 	if got := n.EgressBacklog(); got == 0 {
 		t.Error("network-wide backlog should mirror the host's")
@@ -107,7 +107,7 @@ func TestQueueIntrospection(t *testing.T) {
 	// Both endpoints deregister: the remote side closes lazily, so only
 	// require the local endpoint to disappear promptly.
 	for i := 0; src.OpenConns() != 0 && i < 100; i++ {
-		time.Sleep(time.Millisecond)
+		clock.Sleep(time.Millisecond)
 	}
 	if got := src.OpenConns(); got != 0 {
 		t.Errorf("src open conns after close = %d, want 0", got)

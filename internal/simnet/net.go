@@ -142,12 +142,7 @@ func (h *Host) Listen(port int) (net.Listener, error) {
 	if _, ok := h.listeners[port]; ok {
 		return nil, fmt.Errorf("simnet: %s:%d already in use", h.name, port)
 	}
-	l := &listener{
-		host:   h,
-		port:   port,
-		accept: make(chan *conn, 16),
-		done:   make(chan struct{}),
-	}
+	l := &listener{host: h, port: port}
 	h.listeners[port] = l
 	return l, nil
 }
@@ -195,13 +190,7 @@ func (h *Host) Dial(target string) (net.Conn, error) {
 	cl, sv := newConnPair(h, remote, lport, tport)
 	// One round trip of handshake latency before the connection exists.
 	h.net.clock.Sleep(2 * h.net.Delay(h.name, thost))
-	select {
-	case l.accept <- sv:
-		if m != nil {
-			m.dials.Inc()
-		}
-		return cl, nil
-	case <-l.done:
+	if !l.push(sv) {
 		cl.Close()
 		sv.Close()
 		if m != nil {
@@ -209,6 +198,10 @@ func (h *Host) Dial(target string) (net.Conn, error) {
 		}
 		return nil, fmt.Errorf("simnet: connection refused: %s", target)
 	}
+	if m != nil {
+		m.dials.Inc()
+	}
+	return cl, nil
 }
 
 // registerConn records a live endpoint for crash severing.
@@ -240,33 +233,97 @@ func (h *Host) severAll() {
 	}
 }
 
+// acceptBacklog bounds the accept queue, like a kernel listen backlog;
+// dialers park when it is full.
+const acceptBacklog = 16
+
 type listener struct {
 	host *Host
 	port int
 
-	accept chan *conn
-	done   chan struct{}
-	once   sync.Once
+	mu        sync.Mutex
+	backlog   []*conn
+	acceptors []*parker // parked Accept callers
+	dialers   []*parker // parked push callers (backlog full)
+	closed    bool
+}
+
+// push hands the server endpoint of a fresh dial to the listener,
+// parking while the backlog is full. It reports false when the listener
+// closed first.
+func (l *listener) push(c *conn) bool {
+	clock := l.host.net.clock
+	l.mu.Lock()
+	for {
+		if l.closed {
+			l.mu.Unlock()
+			return false
+		}
+		if len(l.backlog) < acceptBacklog {
+			break
+		}
+		pk := clock.newParker()
+		l.dialers = append(l.dialers, pk)
+		l.mu.Unlock()
+		clock.park(pk)
+		l.mu.Lock()
+	}
+	l.backlog = append(l.backlog, c)
+	for _, p := range l.acceptors {
+		p.wake()
+	}
+	l.acceptors = nil
+	l.mu.Unlock()
+	return true
 }
 
 // Accept waits for and returns the next connection.
 func (l *listener) Accept() (net.Conn, error) {
-	select {
-	case c := <-l.accept:
-		return c, nil
-	case <-l.done:
-		return nil, net.ErrClosed
+	clock := l.host.net.clock
+	l.mu.Lock()
+	for {
+		if len(l.backlog) > 0 {
+			c := l.backlog[0]
+			l.backlog = l.backlog[1:]
+			if len(l.backlog) == 0 {
+				l.backlog = nil
+			}
+			for _, p := range l.dialers {
+				p.wake()
+			}
+			l.dialers = nil
+			l.mu.Unlock()
+			return c, nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return nil, net.ErrClosed
+		}
+		pk := clock.newParker()
+		l.acceptors = append(l.acceptors, pk)
+		l.mu.Unlock()
+		clock.park(pk)
+		l.mu.Lock()
 	}
 }
 
 // Close stops the listener. Pending Accept calls are unblocked.
 func (l *listener) Close() error {
-	l.once.Do(func() {
-		l.host.mu.Lock()
-		delete(l.host.listeners, l.port)
-		l.host.mu.Unlock()
-		close(l.done)
-	})
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	waiters := append(l.acceptors, l.dialers...)
+	l.acceptors, l.dialers = nil, nil
+	l.mu.Unlock()
+	l.host.mu.Lock()
+	delete(l.host.listeners, l.port)
+	l.host.mu.Unlock()
+	for _, p := range waiters {
+		p.wake()
+	}
 	return nil
 }
 

@@ -1,0 +1,184 @@
+package simnet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// eventCore is the discrete-event clock: a virtual now, a hierarchical
+// timer wheel, and a single dispatcher goroutine that advances time
+// event-to-event. Nothing here touches the wall clock, so a run's
+// virtual timeline is a pure function of the events scheduled into it.
+//
+// Host goroutines (relay accept loops, torclient circuits, bento
+// sessions — real blocking code) interoperate through the park/unpark
+// bridge: their blocking points (conn.Read, Clock.Sleep, deadline waits)
+// park on a one-shot token, and the events that satisfy them (a
+// delivery, a timer) wake the token. The dispatcher only advances
+// virtual time when the system looks quiescent: every bridge operation
+// bumps an activity counter, and before each advance the dispatcher
+// yields the OS scheduler until a full round passes with no bridge
+// activity, giving freshly-woken goroutines time to run to their next
+// blocking point. Pure event-native workloads (the -exp scale clients)
+// skip the settle entirely, which is what makes 100k+ hosts cheap.
+type eventCore struct {
+	clock *Clock // backlink for parkers
+
+	mu      sync.Mutex
+	cond    *sync.Cond // dispatcher waits here while the wheel is empty
+	wheel   *wheel
+	seq     uint64
+	stopped bool
+
+	nowNs    atomic.Int64
+	activity atomic.Uint64 // bumped by park/wake/blocking transitions
+	bridged  atomic.Bool   // any bridge op since the last settle?
+}
+
+func newEventCore(start time.Duration) *eventCore {
+	ec := &eventCore{wheel: newWheel(int64(start))}
+	ec.cond = sync.NewCond(&ec.mu)
+	ec.nowNs.Store(int64(start))
+	return ec
+}
+
+func (ec *eventCore) scale() float64    { return 1.0 }
+func (ec *eventCore) eventDriven() bool { return true }
+
+func (ec *eventCore) now() time.Duration {
+	return time.Duration(ec.nowNs.Load())
+}
+
+// schedule enqueues fn to run at now+d and returns the event for
+// cancellation. d is clamped to zero: nothing fires in the past.
+// Scheduling counts as bridge activity: a goroutine that reacts to a
+// wake by scheduling work (a Write arming a delivery) must hold the
+// settle window open just like one that parks.
+func (ec *eventCore) schedule(d time.Duration, fn func()) *event {
+	if d < 0 {
+		d = 0
+	}
+	ec.noteBridge()
+	ec.mu.Lock()
+	ec.seq++
+	e := &event{due: ec.nowNs.Load() + int64(d), seq: ec.seq, fn: fn}
+	ec.wheel.insert(e)
+	ec.mu.Unlock()
+	ec.cond.Signal()
+	return e
+}
+
+func (ec *eventCore) afterFunc(d time.Duration, f func()) *VTimer {
+	e := ec.schedule(d, f)
+	return &VTimer{stopFn: func() bool {
+		ec.mu.Lock()
+		defer ec.mu.Unlock()
+		if e.fn == nil {
+			return false
+		}
+		e.fn = nil
+		return true
+	}}
+}
+
+func (ec *eventCore) after(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ec.schedule(d, func() {
+		ch <- time.Unix(0, ec.nowNs.Load())
+	})
+	return ch
+}
+
+func (ec *eventCore) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p := ec.clock.newParker()
+	ec.schedule(d, p.wake)
+	ec.park(p)
+}
+
+func (ec *eventCore) park(p *parker) {
+	ec.noteBridge()
+	<-p.ch
+	ec.noteBridge()
+}
+
+func (ec *eventCore) noteWake() { ec.noteBridge() }
+
+func (ec *eventCore) blocking() func() {
+	ec.noteBridge()
+	return ec.noteBridge
+}
+
+func (ec *eventCore) noteBridge() {
+	ec.activity.Add(1)
+	ec.bridged.Store(true)
+}
+
+func (ec *eventCore) stop() {
+	ec.mu.Lock()
+	ec.stopped = true
+	ec.mu.Unlock()
+	ec.cond.Signal()
+}
+
+// settle yields until a full scheduling round passes with no bridge
+// activity, so goroutines woken by the previous batch reach their next
+// park (or exit) before virtual time moves again. After a burst of
+// stubborn rounds it backs off with tiny real sleeps rather than
+// spinning against a long-running computation.
+func (ec *eventCore) settle() {
+	for round := 0; ; round++ {
+		before := ec.activity.Load()
+		runtime.Gosched()
+		runtime.Gosched()
+		runtime.Gosched()
+		if ec.activity.Load() == before {
+			return
+		}
+		if round > 16 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// run is the dispatcher loop: wait for events, settle the bridge, pop
+// the earliest jiffy, fire its events in (due, seq) order.
+func (ec *eventCore) run() {
+	for {
+		ec.mu.Lock()
+		for ec.wheel.len() == 0 && !ec.stopped {
+			ec.cond.Wait()
+		}
+		if ec.stopped {
+			ec.mu.Unlock()
+			return
+		}
+		if ec.bridged.Swap(false) {
+			ec.mu.Unlock()
+			ec.settle()
+			ec.mu.Lock()
+			if ec.stopped || ec.wheel.len() == 0 {
+				ec.mu.Unlock()
+				continue
+			}
+		}
+		batch := ec.wheel.popNext()
+		ec.mu.Unlock()
+		for _, e := range batch {
+			ec.mu.Lock()
+			fn := e.fn
+			e.fn = nil
+			if fn != nil && e.due > ec.nowNs.Load() {
+				ec.nowNs.Store(e.due)
+			}
+			ec.mu.Unlock()
+			if fn != nil {
+				fn()
+			}
+		}
+	}
+}

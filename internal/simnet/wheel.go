@@ -1,0 +1,135 @@
+package simnet
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// event is one scheduled occurrence in the discrete-event core: a
+// delivery, a timer fire, a parked goroutine's wake. fn is nilled on
+// cancel and after firing.
+type event struct {
+	due int64 // virtual ns since the clock's origin
+	seq uint64
+	fn  func()
+}
+
+// Timer-index geometry. Virtual time is bucketed into jiffies of
+// 2^tickShift ns (~1ms); the near wheel covers the next wheelSlots
+// jiffies (~quarter of a virtual second), which is where the delivery
+// hot path lives. Events keep their exact nanosecond due times — the
+// wheel is only an index; firing order is (due, seq).
+const (
+	tickShift  = 20
+	wheelSlots = 256
+	slotMask   = wheelSlots - 1
+)
+
+// wheel is a two-tier hierarchical timer index: a sliding 256-slot near
+// wheel (O(1) insert for deliveries and pacing events due within the
+// window) over a min-heap of far events (circuit timeouts, health
+// ticks). The invariant making the sliding window sound: a near event
+// is inserted with delta < wheelSlots of the then-current cursor, and
+// the cursor only advances, so every near event always lies in
+// [cur, cur+wheelSlots). It is not goroutine-safe; the event core
+// guards it with its scheduler mutex.
+type wheel struct {
+	cur     int64 // current jiffy; never passes an unfired event
+	total   int   // events in near + far
+	near    [wheelSlots][]*event
+	nearCnt int
+	far     farHeap
+}
+
+func newWheel(startNs int64) *wheel {
+	return &wheel{cur: startNs >> tickShift}
+}
+
+func (w *wheel) len() int { return w.total }
+
+// insert indexes the event. Past-due events land in the current jiffy
+// and fire on the next pop.
+func (w *wheel) insert(e *event) {
+	w.total++
+	j := e.due >> tickShift
+	if j < w.cur {
+		j = w.cur
+	}
+	if j-w.cur < wheelSlots {
+		s := j & slotMask
+		w.near[s] = append(w.near[s], e)
+		w.nearCnt++
+		return
+	}
+	heap.Push(&w.far, e)
+}
+
+// popNext advances the wheel to the earliest pending jiffy and returns
+// its events sorted by (due, seq). It returns nil when the wheel is
+// empty. The cursor stays on the fired jiffy, so events scheduled for
+// "now" during dispatch are found by the following pop.
+func (w *wheel) popNext() []*event {
+	if w.total == 0 {
+		return nil
+	}
+	// Near window empty: jump the cursor straight to the earliest far
+	// event — this is the event-to-event advance that makes idle virtual
+	// hours free.
+	if w.nearCnt == 0 {
+		if j := w.far[0].due >> tickShift; j > w.cur {
+			w.cur = j
+		}
+	}
+	// Pull far events that now fall inside the near window.
+	for len(w.far) > 0 && w.far[0].due>>tickShift < w.cur+wheelSlots {
+		e := heap.Pop(&w.far).(*event)
+		j := e.due >> tickShift
+		if j < w.cur {
+			j = w.cur
+		}
+		s := j & slotMask
+		w.near[s] = append(w.near[s], e)
+		w.nearCnt++
+	}
+	// Scan the sliding window for the earliest occupied jiffy.
+	for j := w.cur; j < w.cur+wheelSlots; j++ {
+		s := j & slotMask
+		if len(w.near[s]) == 0 {
+			continue
+		}
+		w.cur = j
+		batch := w.near[s]
+		w.near[s] = nil
+		w.nearCnt -= len(batch)
+		w.total -= len(batch)
+		sort.Slice(batch, func(a, b int) bool {
+			if batch[a].due != batch[b].due {
+				return batch[a].due < batch[b].due
+			}
+			return batch[a].seq < batch[b].seq
+		})
+		return batch
+	}
+	return nil // unreachable: nearCnt > 0 implies an occupied window slot
+}
+
+// farHeap is a min-heap of events ordered by (due, seq).
+type farHeap []*event
+
+func (h farHeap) Len() int { return len(h) }
+func (h farHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h farHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *farHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *farHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

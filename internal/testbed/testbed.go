@@ -36,7 +36,12 @@ type Config struct {
 	// Sites are served from dedicated web hosts named by their domains.
 	Sites []*webfarm.Site
 	// ClockScale maps virtual to real time (default 0.0005 = 2000x).
+	// Ignored when EventClock is set.
 	ClockScale float64
+	// EventClock runs the deployment on the discrete-event clock:
+	// virtual time advances event-to-event instead of at a scaled real
+	// rate, so idle stretches are free and timing is load-independent.
+	EventClock bool
 	// LinkDelay is the default one-way propagation delay (default 2ms).
 	LinkDelay time.Duration
 	// RelayEgress caps each relay's uplink in bytes per virtual second
@@ -87,7 +92,11 @@ func New(cfg Config) (*World, error) {
 		cfg.LinkDelay = 2 * time.Millisecond
 	}
 
-	n := simnet.NewNetwork(simnet.NewClock(cfg.ClockScale), cfg.LinkDelay)
+	clock := simnet.NewClock(cfg.ClockScale)
+	if cfg.EventClock {
+		clock = simnet.NewEventClock()
+	}
+	n := simnet.NewNetwork(clock, cfg.LinkDelay)
 	if cfg.Obs != nil {
 		cfg.Obs.SetClock(n.Clock().Now)
 		n.SetObs(cfg.Obs)
@@ -215,6 +224,9 @@ func (w *World) Close() {
 	for _, r := range w.Relays {
 		r.Close()
 	}
+	// Stops the dispatcher goroutine when the deployment runs on the
+	// event clock; a no-op for the scaled-real clock.
+	w.Net.Clock().Stop()
 }
 
 // Clock returns the deployment's virtual clock.

@@ -73,6 +73,30 @@ func TestSitesServed(t *testing.T) {
 	}
 }
 
+// TestSitesServedEventClock runs the same end-to-end fetch — directory
+// bootstrap, 3-hop circuit build, HTTP over the circuit — on the
+// discrete-event clock, proving the full stack's goroutine code
+// interoperates with the virtual-time scheduler.
+func TestSitesServedEventClock(t *testing.T) {
+	site := webfarm.NamedSite("hello.web", 2000, nil)
+	w, err := New(Config{Relays: 3, Sites: []*webfarm.Site{site}, EventClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if !w.Clock().EventDriven() {
+		t.Fatal("EventClock config did not select the event core")
+	}
+	cli := w.NewTorClient("probe", 1)
+	body, err := webfarm.Get(cli.Host().Dial, "hello.web", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 2000 {
+		t.Fatalf("served %d bytes", len(body))
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Relays: 2, BentoNodes: 5}); err == nil {
 		t.Fatal("BentoNodes > Relays accepted")

@@ -502,6 +502,8 @@ func (circ *Circuit) handleRelay(payload []byte) {
 // wait is bounded in virtual time (Client.CtrlTimeout) so detection of a
 // stalled circuit scales with the emulation rather than the wall clock.
 func (circ *Circuit) awaitCtrl(cmd cell.RelayCommand) (ctrlMsg, error) {
+	unblock := circ.client.Clock().Blocking()
+	defer unblock()
 	deadline := circ.client.Clock().After(circ.client.CtrlTimeout())
 	for {
 		select {

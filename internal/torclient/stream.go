@@ -78,6 +78,8 @@ func (circ *Circuit) openStream(target string) (net.Conn, error) {
 		circ.dropStream(id)
 		return nil, err
 	}
+	unblock := circ.client.Clock().Blocking()
+	defer unblock()
 	select {
 	case <-s.ready:
 		if s.readyErr != nil {

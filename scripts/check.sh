@@ -70,4 +70,7 @@ go test -run='^$' -fuzz='^FuzzEngineParity$' -fuzztime=5s ./internal/interp/
 echo "==> fleet reconciliation smoke (chaos faults, must end 100% success)"
 go run ./cmd/benchharness -exp fleet -fleetout /dev/null
 
+echo "==> event-core scale smoke (5k hosts, memory per host must stay under 10 KiB)"
+go run ./cmd/benchharness -exp scale -scaleout /dev/null -maxhostbytes 10240
+
 echo "All checks passed."
