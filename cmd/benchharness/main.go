@@ -30,7 +30,13 @@
 // client through a genuine CREATE handshake plus a cover-traffic pump,
 // and writes emulator throughput, virtual circuit-build percentiles,
 // and steady-state memory per simulated host to BENCH_scale.json;
-// -maxhostbytes turns the memory figure into a hard gate.
+// -maxhostbytes turns the memory figure into a hard gate. The autoscale
+// experiment closes the telemetry→control loop: a fleet under the
+// obs-driven autoscaler takes a 3x traffic ramp plus a mid-ramp relay
+// crash, and the run fails unless capacity follows demand without
+// thrashing (scale-up within ~1.5 windows, zero app-visible errors, at
+// most one oscillation under chaos, back at the floor after the tail);
+// it writes the replica/latency timeline to BENCH_autoscale.json.
 package main
 
 import (
@@ -44,13 +50,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|fleet|scalability|scale|ablations|datapath|obs|interp|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure5|chaos|fleet|autoscale|scalability|scale|ablations|datapath|obs|interp|all")
 	full := flag.Bool("full", false, "run paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	benchOut := flag.String("benchout", "BENCH_datapath.json", "path for the datapath experiment's machine-readable result")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "path for the observability ablation's machine-readable result")
 	interpOut := flag.String("interpout", "BENCH_interp.json", "path for the interp engine comparison's machine-readable result")
 	fleetOut := flag.String("fleetout", "BENCH_fleet.json", "path for the fleet reconciliation experiment's machine-readable result")
+	autoscaleOut := flag.String("autoscaleout", "BENCH_autoscale.json", "path for the fleet autoscaling experiment's machine-readable result")
 	scaleOut := flag.String("scaleout", "BENCH_scale.json", "path for the scale experiment's machine-readable result")
 	scaleClients := flag.Int("scaleclients", 0, "override the scale experiment's client count (0 = experiment default)")
 	stats := flag.Bool("stats", false, "attach a telemetry registry to the chaos experiment and dump its dashboard at exit")
@@ -162,6 +169,25 @@ func main() {
 		}
 		fmt.Printf("(wrote %s)\n", *fleetOut)
 		return nil
+	})
+
+	run("autoscale", func() error {
+		cfg := bench.DefaultAutoscaleBenchConfig()
+		cfg.Seed = *seed
+		cfg.Obs = statsReg
+		if *full {
+			cfg.Ramp = 60 * time.Second
+			cfg.Tail = 60 * time.Second
+		}
+		res, err := bench.RunAutoscale(cfg)
+		if res != nil {
+			fmt.Println(res)
+			if werr := res.WriteJSONFile(*autoscaleOut); werr != nil && err == nil {
+				err = werr
+			}
+			fmt.Printf("(wrote %s)\n", *autoscaleOut)
+		}
+		return err
 	})
 
 	run("scalability", func() error {
@@ -312,7 +338,7 @@ func main() {
 	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|fleet|scalability|scale|ablations|datapath|obs|interp|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want table1|table2|figure5|chaos|fleet|autoscale|scalability|scale|ablations|datapath|obs|interp|all\n", *exp)
 		os.Exit(2)
 	}
 	if statsReg != nil {

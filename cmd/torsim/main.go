@@ -3,8 +3,10 @@
 // rendezvous and a Bento function round trip, converges a 2-replica
 // fleet under the declarative fleet controller, and prints the
 // resulting consensus and timing summary. With -stats it attaches the telemetry
-// registry to the whole deployment and dumps the live dashboard —
-// per-component counters, latency histograms, and the slowest trace
+// registry to the whole deployment, streams a compact per-window HUD
+// line while the self-test runs (rolling rates from the windowed
+// sampler), and dumps the full dashboard — per-component counters,
+// latency histograms with windowed percentiles, and the slowest trace
 // spans — at exit.
 //
 // Usage:
@@ -42,6 +44,9 @@ func main() {
 	var reg *obs.Registry
 	if *stats {
 		reg = obs.NewRegistry()
+		// Mirror completed trace spans (circuit builds, bento ops) into
+		// span.* histograms so the windowed sampler rates them too.
+		reg.ExportSpansAsSeries()
 	}
 	site := webfarm.NamedSite("selftest.web", 10_000, []int{20_000, 15_000})
 	w, err := testbed.New(testbed.Config{
@@ -50,12 +55,45 @@ func main() {
 		Sites:      []*webfarm.Site{site},
 		ClockScale: *scale,
 		Obs:        reg,
+		ObsWindow:  500 * time.Millisecond,
 	})
 	if err != nil {
 		fail("building overlay: %v", err)
 	}
 	defer w.Close()
 	clock := w.Clock()
+
+	// The live HUD: one compact line per telemetry window.
+	if wind := w.Windower(); wind != nil {
+		sub := wind.Subscribe(4)
+		go func() {
+			for {
+				unblock := clock.Blocking()
+				ws, ok := <-sub.C()
+				unblock()
+				if !ok {
+					return
+				}
+				line := fmt.Sprintf("[hud] t=%-8v series=%-3d", ws.At.Round(10*time.Millisecond), len(ws.Series))
+				if st := ws.Find("simnet.dials"); st != nil {
+					line += fmt.Sprintf(" dials/s=%-7.1f", st.Rate)
+				}
+				if st := ws.Find("simnet.bytes_sent"); st != nil {
+					line += fmt.Sprintf(" sentB/s=%-9.0f", st.Rate)
+				}
+				if st := ws.Find("simnet.open_conns"); st != nil {
+					line += fmt.Sprintf(" conns=%-4d", st.Last)
+				}
+				if st := ws.Find("bento.invokes"); st != nil {
+					line += fmt.Sprintf(" invokes/s=%-5.1f", st.Rate)
+				}
+				if st := ws.Find("span.circuit.build_ns"); st != nil && st.Count > 0 {
+					line += fmt.Sprintf(" build.p95=%v", time.Duration(st.P95).Round(time.Microsecond))
+				}
+				fmt.Println(line)
+			}
+		}()
+	}
 
 	fmt.Printf("overlay up: %d relays, consensus signed by directory authority\n", len(w.Consensus.Relays))
 	for _, d := range w.Consensus.Relays {
@@ -201,6 +239,12 @@ func main() {
 	fmt.Println("\nself-test passed")
 
 	if reg != nil {
+		if wind := w.Windower(); wind != nil {
+			if ws := wind.Window(); ws != nil {
+				fmt.Println("\n=== last telemetry window ===")
+				fmt.Println(ws.Dashboard())
+			}
+		}
 		fmt.Println("\n=== telemetry dashboard ===")
 		fmt.Println(reg.Snapshot().Dashboard())
 	}

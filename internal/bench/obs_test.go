@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 	"testing"
+	"time"
 
 	"github.com/bento-nfv/bento/internal/cell"
 	"github.com/bento-nfv/bento/internal/obs"
@@ -53,6 +54,101 @@ func TestInstrumentedMicroAllocFree(t *testing.T) {
 	}
 	if fwd.Value() == 0 || flush.Count() == 0 {
 		t.Fatal("instrumentation recorded nothing")
+	}
+}
+
+// stepClock is a hand-cranked SampleClock that also offers Schedule, so
+// the Windower runs in scheduler-driven mode and the test fires ticks
+// synchronously on its own goroutine. Every method is allocation-free:
+// the cancel func is built once, and re-arms only store the (already
+// allocated) fire closure.
+type stepClock struct {
+	now      time.Duration
+	pending  func()
+	cancelFn func() bool
+}
+
+func newStepClock() *stepClock {
+	c := &stepClock{}
+	c.cancelFn = func() bool { c.pending = nil; return true }
+	return c
+}
+
+func (c *stepClock) Now() time.Duration                   { return c.now }
+func (c *stepClock) After(time.Duration) <-chan time.Time { return nil }
+func (c *stepClock) Blocking() func()                     { return func() {} }
+func (c *stepClock) Schedule(d time.Duration, f func()) func() bool {
+	c.pending = f
+	return c.cancelFn
+}
+
+// step advances virtual time and fires the pending sampler tick.
+func (c *stepClock) step(d time.Duration) {
+	c.now += d
+	fire := c.pending
+	c.pending = nil
+	fire()
+}
+
+// TestWindowedMicroAllocFree extends the instrumented-forward contract to
+// the full telemetry pipeline: the relay inner loop with a live Windower
+// sampling its registry every cycle must still perform exactly zero
+// allocations — the rolling-window machinery rides along for free once
+// its rings are warm.
+func TestWindowedMicroAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	const batchCells = 64
+	reg := obs.NewRegistry()
+	clk := newStepClock()
+	reg.SetClock(func() time.Duration { return clk.now })
+	fwd := reg.Counter("relay.cells_forwarded")
+	flush := reg.Histogram("relay.flush_cells", obs.BatchBuckets)
+	wind := obs.NewWindower(reg, obs.WindowConfig{
+		Interval: time.Second,
+		Slots:    16,
+		Clock:    clk,
+	})
+	defer wind.Close()
+
+	layer := microLayer()
+	src := &ringReader{frame: microFrame()}
+	wire := make([]byte, cell.Size)
+	batch := make([]byte, 0, batchCells*cell.Size)
+
+	cycle := func() {
+		if err := cell.ReadWire(src, wire); err != nil {
+			t.Fatal(err)
+		}
+		payload := cell.WirePayload(wire)
+		layer.ApplyForward(payload)
+		if cell.Recognized(payload) && layer.VerifyForward(payload, cell.DigestOffset) {
+			t.Fatal("unexpected recognition")
+		}
+		cell.SetWireCircID(wire, 9)
+		fwd.Inc()
+		batch = append(batch, wire...)
+		if len(batch) == cap(batch) {
+			flush.Observe(int64(len(batch) / cell.Size))
+			if _, err := io.Discard.Write(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+		clk.step(time.Second)
+	}
+	for i := 0; i < 2*batchCells; i++ {
+		cycle() // warm up: register series, fill the rings
+	}
+	if allocs := testing.AllocsPerRun(500, cycle); allocs != 0 {
+		t.Fatalf("windowed forward path allocates %.2f times per cell, want 0", allocs)
+	}
+	if wind.Samples() < 500 {
+		t.Fatalf("sampler only took %d samples", wind.Samples())
+	}
+	if st := wind.Window().Find("relay.cells_forwarded"); st == nil || st.Rate <= 0 {
+		t.Fatal("windowed series missing the forward counter's rate")
 	}
 }
 

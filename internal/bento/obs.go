@@ -17,10 +17,12 @@ type serverMetrics struct {
 	invokes          *obs.Counter
 	invokeErrors     *obs.Counter
 	shutdowns        *obs.Counter
-	watchdogRestarts *obs.Counter // successful container revivals
-	restartStorms    *obs.Counter // crash-loops the storm guard gave up on
-	progCacheHits    *obs.Counter // uploads served from the compiled-program cache
-	progCacheMisses  *obs.Counter // uploads that had to compile
+	watchdogRestarts *obs.Counter   // successful container revivals
+	restartStorms    *obs.Counter   // crash-loops the storm guard gave up on
+	progCacheHits    *obs.Counter   // uploads served from the compiled-program cache
+	progCacheMisses  *obs.Counter   // uploads that had to compile
+	invokeQueue      *obs.Gauge     // invocations in flight or waiting on a function's run lock
+	invokeNs         *obs.Histogram // queue wait + execution per invocation (virtual ns)
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -36,6 +38,8 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		restartStorms:    reg.Counter("bento.watchdog_restart_storms"),
 		progCacheHits:    reg.Counter("bento.program_cache_hits"),
 		progCacheMisses:  reg.Counter("bento.program_cache_misses"),
+		invokeQueue:      reg.Gauge("bento.invoke_queue_depth"),
+		invokeNs:         reg.Histogram("bento.invoke_ns", obs.LatencyBuckets),
 	}
 }
 

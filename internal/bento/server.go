@@ -629,12 +629,20 @@ func (s *Server) handleInvoke(req *request, send func(*response) error) error {
 		args = append(args, v)
 	}
 
+	// Queue depth counts invocations from the moment they contend for
+	// the function's run lock, so a backed-up function shows up as
+	// depth, not just latency; invoke_ns spans the same interval
+	// (queue wait + execution) in virtual time.
+	start := s.now()
+	s.om.invokeQueue.Add(1)
 	rf.runMu.Lock()
 	rf.setEmit(func(p []byte) error {
 		return send(&response{Type: frameData, Payload: p})
 	})
 	result, err := rf.ctr().Call(req.Function, args...)
 	rf.setEmit(nil)
+	s.om.invokeQueue.Add(-1)
+	s.om.invokeNs.ObserveDuration(s.now() - start)
 	s.om.invokes.Inc()
 	if err != nil {
 		s.om.invokeErrors.Inc()
@@ -685,6 +693,12 @@ func (s *Server) teardown(rf *runningFunction) {
 		stem.Close()
 	}
 	s.sup.Remove(c.ID())
+}
+
+// now reads the deployment's virtual clock, so invoke latencies share
+// the time domain of every other *_ns series.
+func (s *Server) now() time.Duration {
+	return s.cfg.Host.Network().Clock().Now()
 }
 
 func (s *Server) lookup(invokeTok string) *runningFunction {

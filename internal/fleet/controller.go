@@ -232,6 +232,47 @@ func (c *Controller) Apply(spec *Spec) error {
 	return nil
 }
 
+// Scale changes only the desired replica count, keeping everything
+// else about the current spec. Unlike Apply it does NOT bump the spec
+// generation: the fleet's identity (name, source, manifest) is
+// unchanged, so placements already in flight stay valid instead of
+// being discarded as stale — exactly what an autoscaler needs when it
+// steps the count again before the previous step converged. Scaling
+// down retires the highest slots, same as a shrinking Apply.
+func (c *Controller) Scale(replicas int) error {
+	if replicas < 1 {
+		return fmt.Errorf("fleet: scale to %d replicas", replicas)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: controller closed")
+	}
+	if c.spec == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: Scale before Apply")
+	}
+	if c.spec.Replicas == replicas {
+		c.mu.Unlock()
+		return nil
+	}
+	// Specs are immutable once applied; clone rather than mutate the
+	// one the caller may still hold.
+	clone := *c.spec
+	clone.Replicas = replicas
+	c.spec = &clone
+	for len(c.slots) < replicas {
+		c.slots = append(c.slots, &slot{id: len(c.slots), phase: PhaseEmpty})
+	}
+	if c.converged {
+		c.converged = false
+		c.divergedSince = c.clock.Now()
+	}
+	c.mu.Unlock()
+	c.kick()
+	return nil
+}
+
 // Close stops the reconcile loop. Replicas keep running.
 func (c *Controller) Close() {
 	c.mu.Lock()

@@ -24,6 +24,30 @@ type metrics struct {
 	ready           *obs.Gauge
 }
 
+// asMetrics is the autoscaler's bundle, separate from the reconcile
+// loop's so an unscaled fleet registers none of it.
+type asMetrics struct {
+	evals         *obs.Counter // windows evaluated
+	ups           *obs.Counter // scale-up actions taken
+	downs         *obs.Counter // scale-down actions taken
+	cooldownHolds *obs.Counter // actions suppressed by cooldown
+	divergedHolds *obs.Counter // scale-downs suppressed while unconverged
+	scaleErrors   *obs.Counter // Scale() calls that failed
+	target        *obs.Gauge   // current desired replica count
+}
+
+func newASMetrics(reg *obs.Registry) asMetrics {
+	return asMetrics{
+		evals:         reg.Counter("fleet.autoscale_evals"),
+		ups:           reg.Counter("fleet.autoscale_ups"),
+		downs:         reg.Counter("fleet.autoscale_downs"),
+		cooldownHolds: reg.Counter("fleet.autoscale_cooldown_holds"),
+		divergedHolds: reg.Counter("fleet.autoscale_diverged_holds"),
+		scaleErrors:   reg.Counter("fleet.autoscale_errors"),
+		target:        reg.Gauge("fleet.autoscale_target"),
+	}
+}
+
 func newMetrics(reg *obs.Registry) metrics {
 	return metrics{
 		loops:           reg.Counter("fleet.reconcile_loops"),

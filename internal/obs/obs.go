@@ -180,6 +180,39 @@ func ExpBuckets(start, factor int64, n int) []int64 {
 	return b
 }
 
+// entryKind tags a registry entry for the Windower's typed iteration.
+type entryKind uint8
+
+const (
+	entryCounter entryKind = iota
+	entryGauge
+	entryHist
+	entryGaugeFn
+)
+
+// entry is one registered metric in registration order. The entries
+// slice is append-only: once an index exists its name/kind/handles
+// never change (a GaugeFunc re-registration swaps the callback inside
+// the shared fnHolder, not the entry), so samplers can remember "I
+// have consumed the first n entries" and only take the registry lock
+// when the atomic entry count grows.
+type entry struct {
+	name string
+	kind entryKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	fn   *fnHolder
+}
+
+// fnHolder indirects a GaugeFunc callback so re-registering a name
+// (the documented replace semantics, exercised every time a component
+// is rebuilt on a reused registry) is visible to samplers that cached
+// the entry.
+type fnHolder struct{ v atomic.Value } // func() int64
+
+func (f *fnHolder) get() func() int64 { return f.v.Load().(func() int64) }
+
 // Registry hands out named metric handles and owns the span sink.
 // Handle lookup takes a mutex (registration is cold); the handles
 // themselves are lock-free. The nil *Registry is the canonical no-op
@@ -189,7 +222,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	gaugeFns map[string]func() int64
+	gaugeFns map[string]*fnHolder
+	entries  []entry
+	nEntries atomic.Int64
 	tracer   *Tracer
 }
 
@@ -200,9 +235,27 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
-		gaugeFns: make(map[string]func() int64),
+		gaugeFns: make(map[string]*fnHolder),
 		tracer:   NewTracer(DefaultSpanRing),
 	}
+}
+
+// addEntry appends to the entry log; callers hold r.mu.
+func (r *Registry) addEntry(e entry) {
+	r.entries = append(r.entries, e)
+	r.nEntries.Store(int64(len(r.entries)))
+}
+
+// numEntries is the lock-free length of the entry log.
+func (r *Registry) numEntries() int { return int(r.nEntries.Load()) }
+
+// entryAt returns entry i (< numEntries). It locks only because the
+// slice header may be reallocated by a concurrent append; samplers
+// call it once per newly seen entry, never on the steady-state path.
+func (r *Registry) entryAt(i int) entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[i]
 }
 
 // SetClock points span timestamps (and Snapshot.TakenAt) at a
@@ -227,6 +280,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c == nil {
 		c = &Counter{}
 		r.counters[name] = c
+		r.addEntry(entry{name: name, kind: entryCounter, c: c})
 	}
 	return c
 }
@@ -243,6 +297,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g == nil {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.addEntry(entry{name: name, kind: entryGauge, g: g})
 	}
 	return g
 }
@@ -260,6 +315,7 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if h == nil {
 		h = newHistogram(bounds)
 		r.hists[name] = h
+		r.addEntry(entry{name: name, kind: entryHist, h: h})
 	}
 	return h
 }
@@ -274,7 +330,15 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.gaugeFns[name] = fn
+	h := r.gaugeFns[name]
+	if h == nil {
+		h = &fnHolder{}
+		r.gaugeFns[name] = h
+		h.v.Store(fn)
+		r.addEntry(entry{name: name, kind: entryGaugeFn, fn: h})
+		return
+	}
+	h.v.Store(fn)
 }
 
 // Tracer returns the span sink (nil for the nil registry).

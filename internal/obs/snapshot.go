@@ -18,6 +18,14 @@ type HistSnapshot struct {
 	Counts []int64 `json:"counts"` // len(Bounds)+1; last is overflow
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the frozen
+// bucket counts by linear interpolation within the owning bucket.
+// Samples beyond the last bound report the last bound (the overflow
+// bucket has no upper edge). Returns 0 for an empty histogram.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	return bucketQuantile(h.Bounds, h.Counts, h.Count, q)
+}
+
 // SpanStats summarizes the tracer ring.
 type SpanStats struct {
 	Total    uint64 `json:"total"`
@@ -68,7 +76,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	fns := make(map[string]func() int64, len(r.gaugeFns))
 	for k, v := range r.gaugeFns {
-		fns[k] = v
+		fns[k] = v.get()
 	}
 	r.mu.Unlock()
 
@@ -142,10 +150,15 @@ func (s *Snapshot) Dashboard() string {
 		add(name, fmt.Sprintf("%d (gauge)", v))
 	}
 	for name, h := range s.Histograms {
-		val := fmt.Sprintf("n=%d avg=%.1f max=%d", h.Count, h.Avg, h.Max)
+		p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+		val := fmt.Sprintf("n=%d avg=%.1f p50=%d p95=%d p99=%d max=%d",
+			h.Count, h.Avg, p50, p95, p99, h.Max)
 		if strings.HasSuffix(name, "_ns") {
-			val = fmt.Sprintf("n=%d avg=%v max=%v", h.Count,
+			val = fmt.Sprintf("n=%d avg=%v p50=%v p95=%v p99=%v max=%v", h.Count,
 				time.Duration(h.Avg).Round(time.Microsecond),
+				time.Duration(p50).Round(time.Microsecond),
+				time.Duration(p95).Round(time.Microsecond),
+				time.Duration(p99).Round(time.Microsecond),
 				time.Duration(h.Max).Round(time.Microsecond))
 		}
 		add(name, val)

@@ -35,6 +35,22 @@ type Tracer struct {
 	buf   []Span
 	next  int
 	total uint64
+	hook  func(Span)
+}
+
+// SetExportHook installs fn to be called exactly once for every span
+// that completes from now on, after the span is committed to the
+// ring. The hook runs synchronously on the goroutine that ended the
+// span (outside the ring lock, so it may itself start spans) — keep
+// it fast; fan-out and buffering belong to the hook. A nil fn
+// uninstalls. Nil tracer → no-op.
+func (t *Tracer) SetExportHook(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hook = fn
+	t.mu.Unlock()
 }
 
 // NewTracer returns a tracer with a ring of the given capacity
@@ -66,14 +82,18 @@ func (t *Tracer) Start(name string) SpanHandle {
 
 func (t *Tracer) record(s Span) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.total++
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, s)
-		return
+	} else {
+		t.buf[t.next] = s
+		t.next = (t.next + 1) % len(t.buf)
 	}
-	t.buf[t.next] = s
-	t.next = (t.next + 1) % len(t.buf)
+	hook := t.hook
+	t.mu.Unlock()
+	if hook != nil {
+		hook(s)
+	}
 }
 
 // Stats reports lifetime span accounting: how many spans completed,

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSpanRingConcurrentWraparound hammers a small ring from many
+// writers and checks the overwrite accounting and retained contents
+// stay coherent.
+func TestSpanRingConcurrentWraparound(t *testing.T) {
+	tr := NewTracer(64)
+	const writers, perWriter = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				parent := tr.Start("parent")
+				child := parent.Child("child")
+				child.End()
+				parent.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total, retained, dropped := tr.Stats()
+	if want := uint64(writers * perWriter * 2); total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+	if retained != 64 {
+		t.Fatalf("retained = %d, want 64", retained)
+	}
+	if dropped != total-64 {
+		t.Fatalf("dropped = %d, want %d", dropped, total-64)
+	}
+	spans := tr.Spans()
+	if len(spans) != 64 {
+		t.Fatalf("Spans() = %d entries", len(spans))
+	}
+	seen := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 || (s.Name != "parent" && s.Name != "child") {
+			t.Fatalf("corrupt span in ring: %+v", s)
+		}
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d in ring", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Name == "child" && s.Parent == 0 {
+			t.Fatalf("child span lost its parent: %+v", s)
+		}
+	}
+}
+
+// TestSpanParentLinkageAcrossWrap checks that children completed after
+// the ring wrapped still carry the parent ID assigned before the
+// wrap.
+func TestSpanParentLinkageAcrossWrap(t *testing.T) {
+	tr := NewTracer(4)
+	parent := tr.Start("root")
+	for i := 0; i < 20; i++ { // wraps the 4-slot ring several times
+		c := parent.Child("leaf")
+		c.End()
+	}
+	for _, s := range tr.Spans() {
+		if s.Name == "leaf" && s.Parent != parent.id {
+			t.Fatalf("leaf parent = %d, want %d", s.Parent, parent.id)
+		}
+	}
+	parent.End()
+	total, _, _ := tr.Stats()
+	if total != 21 {
+		t.Fatalf("total = %d, want 21", total)
+	}
+}
+
+// TestExportHookExactlyOnce pins the export-hook contract: every
+// completed span reaches the hook exactly once, including spans whose
+// ring slot is later overwritten, under concurrent writers.
+func TestExportHookExactlyOnce(t *testing.T) {
+	tr := NewTracer(8) // far smaller than the span count: wraps constantly
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	tr.SetExportHook(func(s Span) {
+		mu.Lock()
+		seen[s.ID]++
+		mu.Unlock()
+	})
+
+	const writers, perWriter = 6, 200
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sp := tr.Start("op")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != writers*perWriter {
+		t.Fatalf("hook saw %d distinct spans, want %d", len(seen), writers*perWriter)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("span %d exported %d times, want exactly once", id, n)
+		}
+	}
+}
+
+func TestExportHookUninstallAndNilSafety(t *testing.T) {
+	var nilT *Tracer
+	nilT.SetExportHook(func(Span) {}) // must not panic
+
+	tr := NewTracer(4)
+	var n int
+	tr.SetExportHook(func(Span) { n++ })
+	sp := tr.Start("a")
+	sp.End()
+	tr.SetExportHook(nil)
+	sp = tr.Start("b")
+	sp.End()
+	if n != 1 {
+		t.Fatalf("hook called %d times after uninstall, want 1", n)
+	}
+}
+
+// TestExportSpansAsSeries checks the span→histogram bridge that makes
+// trace timings windowable.
+func TestExportSpansAsSeries(t *testing.T) {
+	var nilReg *Registry
+	nilReg.ExportSpansAsSeries() // no-op
+
+	reg := NewRegistry()
+	reg.ExportSpansAsSeries()
+	for i := 0; i < 3; i++ {
+		sp := reg.StartSpan("circuit.build")
+		sp.End()
+	}
+	sp := reg.StartSpan("hs.publish")
+	sp.End()
+
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["span.circuit.build_ns"]; !ok || h.Count != 3 {
+		t.Fatalf("span series missing or miscounted: %+v", snap.Histograms)
+	}
+	if h, ok := snap.Histograms["span.hs.publish_ns"]; !ok || h.Count != 1 {
+		t.Fatalf("span series missing: %+v", snap.Histograms)
+	}
+}

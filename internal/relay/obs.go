@@ -13,6 +13,11 @@ import (
 type relayMetrics struct {
 	circCreated   *obs.Counter
 	circDestroyed *obs.Counter
+	// openCircs is a plain gauge moved ±1 at create/teardown rather
+	// than a GaugeFunc: the name is shared by every relay on the
+	// network, and a per-relay callback would be last-writer-wins,
+	// while Add deltas aggregate deployment-wide by construction.
+	openCircs *obs.Gauge
 
 	fwdCells   *obs.Counter // forwarded toward the exit, in place
 	bwdCells   *obs.Counter // relayed toward the client (incl. splices)
@@ -39,6 +44,7 @@ func newRelayMetrics(reg *obs.Registry) relayMetrics {
 	return relayMetrics{
 		circCreated:     reg.Counter("relay.circuits_created"),
 		circDestroyed:   reg.Counter("relay.circuits_destroyed"),
+		openCircs:       reg.Gauge("relay.open_circuits"),
 		fwdCells:        reg.Counter("relay.cells_forwarded"),
 		bwdCells:        reg.Counter("relay.cells_relayed_back"),
 		originated:      reg.Counter("relay.cells_originated"),

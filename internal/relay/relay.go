@@ -333,6 +333,7 @@ func (r *Relay) serveConn(conn net.Conn) {
 	ce.bwSpill.init(prevW, r.m.spilled)
 	r.circuits.Put(ce.serial, ce)
 	r.m.circCreated.Inc()
+	r.m.openCircs.Add(1)
 	// Teardown runs on the worker, strictly after the last enqueued cell:
 	// the sentinel is this reader's final word on the circuit.
 	defer r.fwd.enqueue(ce.worker, fwdTask{ce: ce})
@@ -755,6 +756,7 @@ func (ce *circuitEnd) teardown() {
 	ce.mu.Unlock()
 	ce.relay.circuits.Delete(ce.serial)
 	ce.relay.m.circDestroyed.Inc()
+	ce.relay.m.openCircs.Add(-1)
 
 	for _, s := range streams {
 		s.Close()

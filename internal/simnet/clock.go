@@ -155,6 +155,16 @@ func (c *Clock) AfterFunc(d time.Duration, f func()) *VTimer {
 	return c.core.afterFunc(d, f)
 }
 
+// Schedule arranges for f to run after d of virtual time and returns a
+// cancel func reporting whether it prevented the fire. It is AfterFunc
+// with an interface-friendly signature (no simnet types), so packages
+// that cannot import simnet — obs drives its windowed sampler this way —
+// can match it structurally and run periodic work on the dispatcher
+// instead of racing a goroutine select against the quiescence detector.
+func (c *Clock) Schedule(d time.Duration, f func()) func() bool {
+	return c.AfterFunc(d, f).Stop
+}
+
 // Blocking marks the calling goroutine as about to block on simulation
 // channels (an After timer, a control queue fed by a parked reader). It
 // returns the func that unmarks it; call it as soon as the select

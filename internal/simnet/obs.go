@@ -1,6 +1,8 @@
 package simnet
 
 import (
+	"time"
+
 	"github.com/bento-nfv/bento/internal/obs"
 )
 
@@ -52,6 +54,7 @@ func (n *Network) SetObs(reg *obs.Registry) {
 		chaosCrashes:        reg.Counter("simnet.chaos_host_crashes"),
 		chaosRestarts:       reg.Counter("simnet.chaos_host_restarts"),
 	}
+	n.clock.setSchedObs(reg)
 	reg.GaugeFunc("simnet.open_conns", func() int64 { return int64(n.OpenConns()) })
 	reg.GaugeFunc("simnet.egress_backlog_bytes", n.EgressBacklog)
 	reg.GaugeFunc("simnet.hosts", func() int64 {
@@ -72,6 +75,25 @@ func (n *Network) SetObs(reg *obs.Registry) {
 	for _, h := range hosts {
 		h.egress.setObs(m.egressWaitNs)
 	}
+}
+
+// setSchedObs attaches dispatcher instrumentation to an event-driven
+// core: wall-clock settle cost and per-jiffy batch sizes, the two
+// series the ROADMAP's "profile the settle loop" item asks for. A
+// no-op on the scaled-real core (it has no dispatcher).
+func (c *Clock) setSchedObs(reg *obs.Registry) {
+	ec, ok := c.core.(*eventCore)
+	if !ok || reg == nil {
+		return
+	}
+	ec.obsH.Store(&schedObs{
+		// Settle cost is real CPU time, not virtual: buckets from 1µs
+		// up to ~1s wall.
+		settleNs:    reg.Histogram("simnet.sched_settle_ns", obs.ExpBuckets(int64(time.Microsecond), 4, 10)),
+		batchEvents: reg.Histogram("simnet.sched_batch_events", obs.CountBuckets),
+		settles:     reg.Counter("simnet.sched_settles"),
+		batches:     reg.Counter("simnet.sched_batches"),
+	})
 }
 
 // Obs returns the registry attached with SetObs, or nil. Components

@@ -5,7 +5,21 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/bento-nfv/bento/internal/obs"
 )
+
+// schedObs is the dispatcher's instrumentation bundle: wall-clock
+// settle cost (quiescence detection is the event core's real CPU
+// price — see ROADMAP "profile the settle loop") and events fired per
+// virtual jiffy. Attached atomically via Network.SetObs on
+// event-driven clocks; absent, every hook is one nil check.
+type schedObs struct {
+	settleNs    *obs.Histogram // wall ns per settle round-trip
+	batchEvents *obs.Histogram // events dispatched per jiffy
+	settles     *obs.Counter
+	batches     *obs.Counter
+}
 
 // eventCore is the discrete-event clock: a virtual now, a hierarchical
 // timer wheel, and a single dispatcher goroutine that advances time
@@ -35,6 +49,7 @@ type eventCore struct {
 	nowNs    atomic.Int64
 	activity atomic.Uint64 // bumped by park/wake/blocking transitions
 	bridged  atomic.Bool   // any bridge op since the last settle?
+	obsH     atomic.Pointer[schedObs]
 }
 
 func newEventCore(start time.Duration) *eventCore {
@@ -159,7 +174,14 @@ func (ec *eventCore) run() {
 		}
 		if ec.bridged.Swap(false) {
 			ec.mu.Unlock()
-			ec.settle()
+			if o := ec.obsH.Load(); o != nil {
+				t0 := time.Now()
+				ec.settle()
+				o.settleNs.Observe(int64(time.Since(t0)))
+				o.settles.Inc()
+			} else {
+				ec.settle()
+			}
 			ec.mu.Lock()
 			if ec.stopped || ec.wheel.len() == 0 {
 				ec.mu.Unlock()
@@ -168,6 +190,10 @@ func (ec *eventCore) run() {
 		}
 		batch := ec.wheel.popNext()
 		ec.mu.Unlock()
+		if o := ec.obsH.Load(); o != nil {
+			o.batchEvents.Observe(int64(len(batch)))
+			o.batches.Inc()
+		}
 		for _, e := range batch {
 			ec.mu.Lock()
 			fn := e.fn

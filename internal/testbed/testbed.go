@@ -58,6 +58,11 @@ type Config struct {
 	// starts, so every layer registers its metrics and spans there. The
 	// registry's clock is rebound to the deployment's virtual clock.
 	Obs *obs.Registry
+	// ObsWindow, when nonzero alongside Obs, starts a rolling-window
+	// sampler over the registry on the deployment's virtual clock.
+	// World.Windower exposes it for dashboards and autoscalers; Close
+	// stops it.
+	ObsWindow time.Duration
 	// BentoEngine selects the bscript engine for Bento servers ("" = the
 	// default bytecode VM, "tree" = reference tree-walker); the interp
 	// benchmark uses it to compare the two end to end.
@@ -74,6 +79,7 @@ type World struct {
 	Servers   []*bento.Server
 	Web       []*webfarm.Server
 
+	wind      *obs.Windower
 	clientSeq int
 }
 
@@ -110,6 +116,15 @@ func New(cfg Config) (*World, error) {
 		return nil, err
 	}
 	w := &World{Net: n, Auth: auth, IAS: ias}
+	if cfg.Obs != nil && cfg.ObsWindow > 0 {
+		// *simnet.Clock satisfies obs.SampleClock structurally, so the
+		// sampler ticks in virtual time (and parks correctly under the
+		// event clock).
+		w.wind = obs.NewWindower(cfg.Obs, obs.WindowConfig{
+			Interval: cfg.ObsWindow,
+			Clock:    n.Clock(),
+		})
+	}
 
 	exitPol, err := policy.ParseExitPolicy(
 		fmt.Sprintf("accept localhost:%d", bento.Port),
@@ -215,6 +230,8 @@ func New(cfg Config) (*World, error) {
 
 // Close tears the deployment down.
 func (w *World) Close() {
+	// Stop the sampler first so no tick races component teardown.
+	w.wind.Close()
 	for _, s := range w.Servers {
 		s.Close()
 	}
@@ -231,6 +248,10 @@ func (w *World) Close() {
 
 // Clock returns the deployment's virtual clock.
 func (w *World) Clock() *simnet.Clock { return w.Net.Clock() }
+
+// Windower returns the rolling-window sampler started when Config set
+// both Obs and ObsWindow, or nil (on which every method is a no-op).
+func (w *World) Windower() *obs.Windower { return w.wind }
 
 // EnableChaos attaches a seeded fault-injection controller to the
 // deployment's network. Call it at most once per deployment.

@@ -2,8 +2,10 @@ package testbed
 
 import (
 	"testing"
+	"time"
 
 	"github.com/bento-nfv/bento/internal/dirauth"
+	"github.com/bento-nfv/bento/internal/obs"
 	"github.com/bento-nfv/bento/internal/webfarm"
 )
 
@@ -95,6 +97,84 @@ func TestSitesServedEventClock(t *testing.T) {
 	if len(body) != 2000 {
 		t.Fatalf("served %d bytes", len(body))
 	}
+}
+
+// TestWindowerOnEventClock proves the deployment-owned sampler ticks in
+// virtual time: on the discrete-event clock a full fetch advances the
+// clock seconds in microseconds of wall time, and the windower must
+// have sampled once per virtual interval along the way — not once per
+// wall interval (which would be zero samples).
+func TestWindowerOnEventClock(t *testing.T) {
+	site := webfarm.NamedSite("hello.web", 2000, nil)
+	reg := obs.NewRegistry()
+	w, err := New(Config{
+		Relays:     3,
+		Sites:      []*webfarm.Site{site},
+		EventClock: true,
+		Obs:        reg,
+		ObsWindow:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	wind := w.Windower()
+	if wind == nil {
+		t.Fatal("ObsWindow set but no windower")
+	}
+	sub := wind.Subscribe(64)
+	cli := w.NewTorClient("probe", 1)
+	if _, err := webfarm.Get(cli.Host().Dial, "hello.web", "/"); err != nil {
+		t.Fatal(err)
+	}
+	start := w.Clock().Now()
+	w.Clock().Sleep(2 * time.Second)
+	elapsed := w.Clock().Now() - start
+	samples := wind.Samples()
+	if want := uint64(elapsed / (250 * time.Millisecond)); samples < want {
+		t.Fatalf("sampler took %d samples over %v virtual, want >= %d", samples, elapsed, want)
+	}
+	// The published windows carry virtual timestamps and the fetch's
+	// traffic.
+	var sawBytes bool
+	ws := wind.Window()
+	if ws == nil {
+		t.Fatal("no window snapshot")
+	}
+	if st := ws.Find("simnet.bytes_sent"); st != nil && st.Last > 0 {
+		sawBytes = true
+	}
+	if !sawBytes {
+		t.Fatal("windowed series missing the fetch's simnet.bytes_sent")
+	}
+	drainTo := time.Duration(0)
+	for {
+		select {
+		case snap := <-sub.C():
+			if snap.At > drainTo {
+				drainTo = snap.At
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if drainTo == 0 {
+		t.Fatal("stream delivered no windows")
+	}
+	sub.Close()
+}
+
+func TestWindowerNilWithoutObs(t *testing.T) {
+	w, err := New(Config{Relays: 3, ObsWindow: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Windower() != nil {
+		t.Fatal("windower started without a registry")
+	}
+	w.Windower().Close() // nil no-op contract
 }
 
 func TestConfigValidation(t *testing.T) {

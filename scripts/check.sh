@@ -33,10 +33,10 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 echo "==> relay datapath stress under race (circuit teardown vs in-flight forwarding)"
 go test -race -count=1 -run='TestTeardownForwardStress|TestSpillPacing' ./internal/relay/
 
-echo "==> telemetry regression smoke (instrumented hot path must not allocate)"
-go test -count=1 -run='TestInstrumentedMicroAllocFree' ./internal/bench/
+echo "==> telemetry regression smoke (instrumented hot path and live sampler must not allocate)"
+go test -count=1 -run='TestInstrumentedMicroAllocFree|TestWindowedMicroAllocFree' ./internal/bench/
 go test -count=1 -run='TestMiddleHopForwardAllocFree' ./internal/relay/
-go test -count=1 -run='TestHotPathAllocFree' ./internal/obs/
+go test -count=1 -run='TestHotPathAllocFree|TestWindowerSampleAllocFree' ./internal/obs/
 
 echo "==> multi-core alloc smoke (worker batched forward path at GOMAXPROCS=4)"
 # AllocsPerRun pins GOMAXPROCS to 1 during the measured section; running
@@ -69,6 +69,9 @@ go test -run='^$' -fuzz='^FuzzEngineParity$' -fuzztime=5s ./internal/interp/
 
 echo "==> fleet reconciliation smoke (chaos faults, must end 100% success)"
 go run ./cmd/benchharness -exp fleet -fleetout /dev/null
+
+echo "==> fleet autoscale smoke (3x ramp + relay crash; capacity must follow demand)"
+go run ./cmd/benchharness -exp autoscale -autoscaleout /dev/null
 
 echo "==> event-core scale smoke (5k hosts, memory per host must stay under 10 KiB)"
 go run ./cmd/benchharness -exp scale -scaleout /dev/null -maxhostbytes 10240
