@@ -43,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"github.com/bento-nfv/bento/internal/bench"
@@ -60,10 +61,29 @@ func main() {
 	autoscaleOut := flag.String("autoscaleout", "BENCH_autoscale.json", "path for the fleet autoscaling experiment's machine-readable result")
 	scaleOut := flag.String("scaleout", "BENCH_scale.json", "path for the scale experiment's machine-readable result")
 	scaleClients := flag.Int("scaleclients", 0, "override the scale experiment's client count (0 = experiment default)")
+	scaleDrivers := flag.Int("scaledrivers", 0, "override the scale experiment's driver pool size (0 = experiment default)")
 	stats := flag.Bool("stats", false, "attach a telemetry registry to the chaos experiment and dump its dashboard at exit")
 	minFwd := flag.Float64("minfwd", 0, "fail the datapath experiment if the forward rate (cells/s) lands below this floor")
 	maxHostBytes := flag.Float64("maxhostbytes", 0, "fail the scale experiment if steady-state memory per simulated host exceeds this many bytes")
+	minEventsPerSec := flag.Float64("mineventspersec", 0, "fail the scale experiment if the dispatcher's wall-clock event rate lands below this floor")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var statsReg *obs.Registry
 	if *stats {
@@ -202,14 +222,18 @@ func main() {
 	run("scale", func() error {
 		cfg := bench.DefaultScaleConfig()
 		cfg.Seed = *seed
-		if !*full {
+		if !*full && *scaleClients == 0 {
 			// Quick mode still exercises the full lifecycle, just with a
-			// four-figure host count so `-exp all` stays fast.
+			// four-figure host count so `-exp all` stays fast. An explicit
+			// -scaleclients keeps the full-size driver pool.
 			cfg.Clients = 5_000
 			cfg.Drivers = 64
 		}
 		if *scaleClients > 0 {
 			cfg.Clients = *scaleClients
+		}
+		if *scaleDrivers > 0 {
+			cfg.Drivers = *scaleDrivers
 		}
 		res, err := bench.RunScale(cfg)
 		if err != nil {
@@ -223,6 +247,10 @@ func main() {
 		if *maxHostBytes > 0 && res.BytesPerHost > *maxHostBytes {
 			return fmt.Errorf("memory per host %.0f bytes above ceiling %.0f",
 				res.BytesPerHost, *maxHostBytes)
+		}
+		if *minEventsPerSec > 0 && res.EventsPerSec < *minEventsPerSec {
+			return fmt.Errorf("dispatcher rate %.0f events/s below floor %.0f",
+				res.EventsPerSec, *minEventsPerSec)
 		}
 		return nil
 	})

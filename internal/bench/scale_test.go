@@ -3,9 +3,10 @@ package bench
 import "testing"
 
 // TestScaleShape runs a scaled-down scale experiment end to end: every
-// client must complete a real CREATE handshake on the event core, the
-// HS fraction must land its rendezvous ops, and latency percentiles
-// must be ordered and positive.
+// client must complete a real telescoped 3-hop build on the event core,
+// the HS fraction must land its rendezvous ops, cell accounting must
+// match the topology exactly, and latency percentiles must be ordered
+// and positive.
 func TestScaleShape(t *testing.T) {
 	cfg := ScaleConfig{
 		Clients:        400,
@@ -28,9 +29,14 @@ func TestScaleShape(t *testing.T) {
 	if res.HSOps != int64(cfg.Clients/10) {
 		t.Fatalf("HS ops = %d, want %d", res.HSOps, cfg.Clients/10)
 	}
-	// CREATE+CREATED per client, an ESTABLISH_RENDEZVOUS+ack per HS
-	// client, and the cover pump.
-	wantCells := int64(cfg.Clients*(2+cfg.CellsPerClient)) + 2*res.HSOps
+	// Per client on its own link: CREATE+CREATED, 2 EXTENDs, 2
+	// EXTENDEDs, and the cover pump (6+C). Relay-side: the second
+	// EXTEND is forwarded once (guard→middle), its EXTENDED relayed
+	// back once, and each cover cell crosses both forwarding hops
+	// (2C+2). Each HS op adds ESTABLISH_RENDEZVOUS+ack on the client
+	// link (2) plus two forwards and two relays-back inside the circuit
+	// (4). Total: Clients*(8+3C) + 6*HSOps.
+	wantCells := int64(cfg.Clients*(8+3*cfg.CellsPerClient)) + 6*res.HSOps
 	if res.CellsTotal != wantCells {
 		t.Fatalf("cells = %d, want %d", res.CellsTotal, wantCells)
 	}

@@ -45,6 +45,14 @@ type Config struct {
 	// Middlebox and BentoAddr advertise a co-resident Bento server.
 	Middlebox *policy.Middlebox
 	BentoAddr string
+	// LightIngress serves inbound links event-natively (see ingress.go):
+	// deliveries arrive as LightConn callbacks instead of per-link reader
+	// goroutines, which is what lets one process hold 500k+ live circuits
+	// on the event clock. Links whose conns are not LightConns (a
+	// non-simnet listener, the legacy clock's blocking conns still
+	// qualify — every simnet conn implements LightConn) fall back to the
+	// classic goroutine path.
+	LightIngress bool
 	// Quiet suppresses per-circuit log output.
 	Quiet bool
 }
@@ -76,6 +84,12 @@ type Relay struct {
 	intros     *shardedTable[string, *circuitEnd] // service ID -> intro circuit
 	hsdir      *shardedTable[string, []byte]      // service ID -> raw descriptor (HSDir duty)
 
+	// Light-ingress twins of the rendezvous/intro tables (same shard
+	// layout; see ingress.go). Kept separate because the two paths hold
+	// different circuit types; a deployment uses one ingress per relay.
+	lightRend   *shardedTable[string, *lightCircuit]
+	lightIntros *shardedTable[string, *lightCircuit]
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{} // live inbound links, for Crash
 }
@@ -87,6 +101,8 @@ func (r *Relay) initTables() {
 	r.rendezvous = newShardedTable[string, *circuitEnd](fnv32, r.m.shardWait)
 	r.intros = newShardedTable[string, *circuitEnd](fnv32, r.m.shardWait)
 	r.hsdir = newShardedTable[string, []byte](fnv32, r.m.shardWait)
+	r.lightRend = newShardedTable[string, *lightCircuit](fnv32, r.m.shardWait)
+	r.lightIntros = newShardedTable[string, *lightCircuit](fnv32, r.m.shardWait)
 	r.conns = make(map[net.Conn]struct{})
 }
 
@@ -206,6 +222,12 @@ func (r *Relay) acceptLoop() {
 		conn, err := r.ln.Accept()
 		if err != nil {
 			return
+		}
+		if r.cfg.LightIngress {
+			if lcn, ok := conn.(simnet.LightConn); ok {
+				r.serveLight(lcn)
+				continue
+			}
 		}
 		r.serveWG.Add(1)
 		go r.serveConn(conn)
@@ -667,11 +689,7 @@ func (r *Relay) handleEstablishIntro(ce *circuitEnd, _ cell.RelayHeader, data []
 	if err := cell.DecodeControl(data, &est); err != nil {
 		return false
 	}
-	pub, err := hex.DecodeString(est.ServiceID)
-	if err != nil || len(pub) != ed25519.PublicKeySize {
-		return false
-	}
-	if !ed25519.Verify(pub, []byte("establish-intro:"+est.ServiceID), est.Signature) {
+	if !verifyIntroSig(est) {
 		r.logf("ESTABLISH_INTRO bad signature for %s", est.ServiceID)
 		return false
 	}
@@ -789,6 +807,16 @@ func (ce *circuitEnd) cleanupRelayMaps() {
 	r := ce.relay
 	r.rendezvous.DeleteIf(func(_ string, v *circuitEnd) bool { return v == ce })
 	r.intros.DeleteIf(func(_ string, v *circuitEnd) bool { return v == ce })
+}
+
+// verifyIntroSig checks an ESTABLISH_INTRO self-signature: the service
+// ID is the hex public key and must have signed the registration.
+func verifyIntroSig(est cell.EstablishIntroPayload) bool {
+	pub, err := hex.DecodeString(est.ServiceID)
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(pub, []byte("establish-intro:"+est.ServiceID), est.Signature)
 }
 
 func splitTarget(s string) (string, int, bool) {

@@ -174,10 +174,19 @@ func (c *conn) txFire() {
 			return
 		}
 		head := c.txq[0]
-		if d := head.at - c.clock.Now(); d > 0 {
-			c.armTxLocked()
-			c.mu.Unlock()
-			return
+		if now := c.clock.Now(); head.at > now {
+			// Event core: chunks maturing later in the *current jiffy* are
+			// drained by this event rather than re-armed. The wheel cannot
+			// separate sub-jiffy instants anyway, so merging them costs no
+			// observable resolution and turns an N-cell burst with N
+			// distinct pacing stamps into one delivery event instead of N
+			// arm/fire round-trips. The legacy core keeps exact arithmetic
+			// (its timers are real and sub-jiffy precision is free).
+			if !c.clock.EventDriven() || int64(head.at)>>tickShift > int64(now)>>tickShift {
+				c.armTxLocked()
+				c.mu.Unlock()
+				return
+			}
 		}
 		if !head.eof && c.localHost != c.remoteHost {
 			if chaos := c.localHost.net.Chaos(); chaos != nil && chaos.blocked(c.localHost.name, c.remoteHost.name) {

@@ -23,6 +23,7 @@ type Network struct {
 	hosts        map[string]*Host
 	defaultDelay time.Duration
 	delays       map[[2]string]time.Duration
+	delayFn      func(a, b string) (time.Duration, bool)
 }
 
 // NewNetwork creates an empty network. defaultDelay is the one-way
@@ -49,12 +50,13 @@ func (n *Network) AddHost(name string, egressRate float64) *Host {
 	if _, ok := n.hosts[name]; ok {
 		panic(fmt.Sprintf("simnet: duplicate host %q", name))
 	}
+	// listeners and conns are lazily allocated: a six-figure fleet of
+	// client hosts that only ever Dial should not pay two map headers
+	// (~100 B) apiece for maps they never or only transiently use.
 	h := &Host{
-		net:       n,
-		name:      name,
-		egress:    NewTokenBucket(n.clock, egressRate, 64*1024),
-		listeners: make(map[int]*listener),
-		conns:     make(map[*conn]struct{}),
+		net:    n,
+		name:   name,
+		egress: NewTokenBucket(n.clock, egressRate, 64*1024),
 	}
 	if m := n.metrics(); m != nil {
 		h.egress.setObs(m.egressWaitNs)
@@ -89,6 +91,18 @@ func (n *Network) SetDelay(a, b string, d time.Duration) {
 	n.delays[delayKey(a, b)] = d
 }
 
+// SetDelayFunc installs a computed delay source, consulted after
+// explicit SetDelay overrides but before the default. At six-figure
+// host counts a per-pair map entry costs ~50 bytes per host; a pure
+// function derived from the host names costs nothing to hold. fn must
+// be pure (same pair → same delay) to keep runs deterministic, and
+// returns false to fall through to the default.
+func (n *Network) SetDelayFunc(fn func(a, b string) (time.Duration, bool)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delayFn = fn
+}
+
 // Delay reports the one-way propagation delay between two hosts.
 func (n *Network) Delay(a, b string) time.Duration {
 	if a == b {
@@ -96,8 +110,15 @@ func (n *Network) Delay(a, b string) time.Duration {
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	if d, ok := n.delays[delayKey(a, b)]; ok {
-		return d
+	if len(n.delays) > 0 {
+		if d, ok := n.delays[delayKey(a, b)]; ok {
+			return d
+		}
+	}
+	if n.delayFn != nil {
+		if d, ok := n.delayFn(a, b); ok {
+			return d
+		}
 	}
 	return n.defaultDelay
 }
@@ -141,6 +162,9 @@ func (h *Host) Listen(port int) (net.Listener, error) {
 	defer h.mu.Unlock()
 	if _, ok := h.listeners[port]; ok {
 		return nil, fmt.Errorf("simnet: %s:%d already in use", h.name, port)
+	}
+	if h.listeners == nil {
+		h.listeners = make(map[int]*listener)
 	}
 	l := &listener{host: h, port: port}
 	h.listeners[port] = l
@@ -207,14 +231,22 @@ func (h *Host) Dial(target string) (net.Conn, error) {
 // registerConn records a live endpoint for crash severing.
 func (h *Host) registerConn(c *conn) {
 	h.mu.Lock()
+	if h.conns == nil {
+		h.conns = make(map[*conn]struct{})
+	}
 	h.conns[c] = struct{}{}
 	h.mu.Unlock()
 }
 
-// unregisterConn forgets a closed endpoint.
+// unregisterConn forgets a closed endpoint. The map is dropped when it
+// empties: Go maps never shrink their bucket arrays, and a parked
+// client host should cost nothing for connections it used to have.
 func (h *Host) unregisterConn(c *conn) {
 	h.mu.Lock()
 	delete(h.conns, c)
+	if len(h.conns) == 0 {
+		h.conns = nil
+	}
 	h.mu.Unlock()
 }
 

@@ -89,10 +89,11 @@ func (c *Clock) setSchedObs(reg *obs.Registry) {
 	ec.obsH.Store(&schedObs{
 		// Settle cost is real CPU time, not virtual: buckets from 1µs
 		// up to ~1s wall.
-		settleNs:    reg.Histogram("simnet.sched_settle_ns", obs.ExpBuckets(int64(time.Microsecond), 4, 10)),
-		batchEvents: reg.Histogram("simnet.sched_batch_events", obs.CountBuckets),
-		settles:     reg.Counter("simnet.sched_settles"),
-		batches:     reg.Counter("simnet.sched_batches"),
+		settleNs:      reg.Histogram("simnet.sched_settle_ns", obs.ExpBuckets(int64(time.Microsecond), 4, 10)),
+		batchEvents:   reg.Histogram("simnet.sched_batch_events", obs.CountBuckets),
+		settles:       reg.Counter("simnet.sched_settles"),
+		settlesElided: reg.Counter("simnet.sched_settles_elided"),
+		batches:       reg.Counter("simnet.sched_batches"),
 	})
 }
 

@@ -11,14 +11,16 @@ import (
 
 // schedObs is the dispatcher's instrumentation bundle: wall-clock
 // settle cost (quiescence detection is the event core's real CPU
-// price — see ROADMAP "profile the settle loop") and events fired per
-// virtual jiffy. Attached atomically via Network.SetObs on
-// event-driven clocks; absent, every hook is one nil check.
+// price — see ROADMAP "profile the settle loop"), events fired per
+// virtual jiffy, and settles elided by the park-side/schedule-side
+// split. Attached atomically via Network.SetObs on event-driven
+// clocks; absent, every hook is one nil check.
 type schedObs struct {
-	settleNs    *obs.Histogram // wall ns per settle round-trip
-	batchEvents *obs.Histogram // events dispatched per jiffy
-	settles     *obs.Counter
-	batches     *obs.Counter
+	settleNs      *obs.Histogram // wall ns per settle round-trip
+	batchEvents   *obs.Histogram // events dispatched per jiffy
+	settles       *obs.Counter
+	settlesElided *obs.Counter // batches that scheduled work but needed no settle
+	batches       *obs.Counter
 }
 
 // eventCore is the discrete-event clock: a virtual now, a hierarchical
@@ -31,12 +33,19 @@ type schedObs struct {
 // bridge: their blocking points (conn.Read, Clock.Sleep, deadline waits)
 // park on a one-shot token, and the events that satisfy them (a
 // delivery, a timer) wake the token. The dispatcher only advances
-// virtual time when the system looks quiescent: every bridge operation
-// bumps an activity counter, and before each advance the dispatcher
-// yields the OS scheduler until a full round passes with no bridge
-// activity, giving freshly-woken goroutines time to run to their next
-// blocking point. Pure event-native workloads (the -exp scale clients)
-// skip the settle entirely, which is what makes 100k+ hosts cheap.
+// virtual time when the system looks quiescent: every park-side bridge
+// operation bumps an activity counter and raises `bridged`, and before
+// each advance the dispatcher yields the OS scheduler until a full
+// round passes with no bridge activity, giving freshly-woken goroutines
+// time to run to their next blocking point.
+//
+// The settle is elided for pure event-native epochs: scheduling from
+// inside a dispatcher callback (a deliver handler arming the next
+// delivery, an AfterFunc chain rescheduling itself) cannot leave a
+// goroutine in flight, so it raises only `schedOnly`, not `bridged`,
+// and the dispatcher advances straight to the next jiffy. That split —
+// park-side signals settle, schedule-side from the dispatcher does
+// not — is what makes 500k+ event-native hosts dispatcher-cheap.
 type eventCore struct {
 	clock *Clock // backlink for parkers
 
@@ -46,14 +55,18 @@ type eventCore struct {
 	seq     uint64
 	stopped bool
 
-	nowNs    atomic.Int64
-	activity atomic.Uint64 // bumped by park/wake/blocking transitions
-	bridged  atomic.Bool   // any bridge op since the last settle?
-	obsH     atomic.Pointer[schedObs]
+	nowNs     atomic.Int64
+	activity  atomic.Uint64 // bumped by park/wake/blocking/schedule transitions
+	bridged   atomic.Bool   // park-side bridge op since the last settle?
+	schedOnly atomic.Bool   // dispatcher-context scheduling since the last batch?
+	firing    atomic.Bool   // dispatcher is inside its fire loop
+	stopFlag  atomic.Bool   // mirror of stopped for lock-free checks in settle
+	done      chan struct{} // closed when the dispatcher goroutine exits
+	obsH      atomic.Pointer[schedObs]
 }
 
 func newEventCore(start time.Duration) *eventCore {
-	ec := &eventCore{wheel: newWheel(int64(start))}
+	ec := &eventCore{wheel: newWheel(int64(start)), done: make(chan struct{})}
 	ec.cond = sync.NewCond(&ec.mu)
 	ec.nowNs.Store(int64(start))
 	return ec
@@ -68,14 +81,11 @@ func (ec *eventCore) now() time.Duration {
 
 // schedule enqueues fn to run at now+d and returns the event for
 // cancellation. d is clamped to zero: nothing fires in the past.
-// Scheduling counts as bridge activity: a goroutine that reacts to a
-// wake by scheduling work (a Write arming a delivery) must hold the
-// settle window open just like one that parks.
 func (ec *eventCore) schedule(d time.Duration, fn func()) *event {
 	if d < 0 {
 		d = 0
 	}
-	ec.noteBridge()
+	ec.noteSchedule()
 	ec.mu.Lock()
 	ec.seq++
 	e := &event{due: ec.nowNs.Load() + int64(d), seq: ec.seq, fn: fn}
@@ -88,13 +98,14 @@ func (ec *eventCore) schedule(d time.Duration, fn func()) *event {
 func (ec *eventCore) afterFunc(d time.Duration, f func()) *VTimer {
 	e := ec.schedule(d, f)
 	return &VTimer{stopFn: func() bool {
-		ec.mu.Lock()
-		defer ec.mu.Unlock()
-		if e.fn == nil {
-			return false
+		// Racing the dispatcher is resolved by the state CAS: exactly one
+		// of Stop and the fire loop claims the event, even when the batch
+		// holding it has already been popped from the wheel.
+		if e.state.CompareAndSwap(evPending, evCancelled) {
+			e.fn = nil
+			return true
 		}
-		e.fn = nil
-		return true
+		return false
 	}}
 }
 
@@ -128,12 +139,35 @@ func (ec *eventCore) blocking() func() {
 	return ec.noteBridge
 }
 
+// noteBridge records a park-side bridge transition: a goroutine parked,
+// was woken, or is about to block on simulation channels. These are the
+// operations that can leave a goroutine in flight, so they demand a
+// settle before the next virtual advance.
 func (ec *eventCore) noteBridge() {
 	ec.activity.Add(1)
 	ec.bridged.Store(true)
 }
 
+// noteSchedule records schedule-side activity. The activity bump holds
+// any in-progress settle open (a woken goroutine that reacts by
+// scheduling — a Write arming a delivery — must not look quiescent
+// mid-reaction), but scheduling only demands a settle of its own when
+// it comes from outside the dispatcher: a callback scheduling from the
+// fire loop is event-native and leaves nothing in flight. External
+// goroutines always reach the core through a wake or a park first, both
+// of which raise `bridged`, so eliding here never advances time past a
+// goroutine still running.
+func (ec *eventCore) noteSchedule() {
+	ec.activity.Add(1)
+	if ec.firing.Load() {
+		ec.schedOnly.Store(true)
+	} else {
+		ec.bridged.Store(true)
+	}
+}
+
 func (ec *eventCore) stop() {
+	ec.stopFlag.Store(true)
 	ec.mu.Lock()
 	ec.stopped = true
 	ec.mu.Unlock()
@@ -144,9 +178,13 @@ func (ec *eventCore) stop() {
 // activity, so goroutines woken by the previous batch reach their next
 // park (or exit) before virtual time moves again. After a burst of
 // stubborn rounds it backs off with tiny real sleeps rather than
-// spinning against a long-running computation.
+// spinning against a long-running computation. Stop aborts the wait:
+// shutdown must not stall behind a host goroutine that never quiesces.
 func (ec *eventCore) settle() {
 	for round := 0; ; round++ {
+		if ec.stopFlag.Load() {
+			return
+		}
 		before := ec.activity.Load()
 		runtime.Gosched()
 		runtime.Gosched()
@@ -160,9 +198,13 @@ func (ec *eventCore) settle() {
 	}
 }
 
-// run is the dispatcher loop: wait for events, settle the bridge, pop
-// the earliest jiffy, fire its events in (due, seq) order.
+// run is the dispatcher loop: wait for events, settle the bridge if any
+// park-side activity occurred, pop the earliest jiffy, advance virtual
+// time once to the batch's latest due, and fire the batch lock-free in
+// (due, seq) order — cancellation is the per-event state CAS, so the
+// scheduler mutex is touched once per batch, not once per event.
 func (ec *eventCore) run() {
+	defer close(ec.done)
 	for {
 		ec.mu.Lock()
 		for ec.wheel.len() == 0 && !ec.stopped {
@@ -173,6 +215,7 @@ func (ec *eventCore) run() {
 			return
 		}
 		if ec.bridged.Swap(false) {
+			ec.schedOnly.Store(false)
 			ec.mu.Unlock()
 			if o := ec.obsH.Load(); o != nil {
 				t0 := time.Now()
@@ -187,24 +230,35 @@ func (ec *eventCore) run() {
 				ec.mu.Unlock()
 				continue
 			}
+		} else if ec.schedOnly.Swap(false) {
+			// Work was scheduled since the last batch, but only from
+			// dispatcher callbacks: the old core would have settled here
+			// for nothing.
+			if o := ec.obsH.Load(); o != nil {
+				o.settlesElided.Inc()
+			}
 		}
 		batch := ec.wheel.popNext()
+		// Advance once to the batch's latest due (the batch is sorted, so
+		// that is its last element). Advancing to anything earlier would
+		// let a deadline callback fired mid-batch observe Now() before its
+		// own due and re-park with no timer left to wake it.
+		if last := batch[len(batch)-1].due; last > ec.nowNs.Load() {
+			ec.nowNs.Store(last)
+		}
 		ec.mu.Unlock()
 		if o := ec.obsH.Load(); o != nil {
 			o.batchEvents.Observe(int64(len(batch)))
 			o.batches.Inc()
 		}
+		ec.firing.Store(true)
 		for _, e := range batch {
-			ec.mu.Lock()
-			fn := e.fn
-			e.fn = nil
-			if fn != nil && e.due > ec.nowNs.Load() {
-				ec.nowNs.Store(e.due)
-			}
-			ec.mu.Unlock()
-			if fn != nil {
+			if e.state.CompareAndSwap(evPending, evFired) {
+				fn := e.fn
+				e.fn = nil
 				fn()
 			}
 		}
+		ec.firing.Store(false)
 	}
 }

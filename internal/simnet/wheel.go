@@ -3,16 +3,31 @@ package simnet
 import (
 	"container/heap"
 	"sort"
+	"sync/atomic"
 )
 
 // event is one scheduled occurrence in the discrete-event core: a
-// delivery, a timer fire, a parked goroutine's wake. fn is nilled on
-// cancel and after firing.
+// delivery, a timer fire, a parked goroutine's wake. Lifecycle is the
+// state atomic: the dispatcher claims a popped event with a
+// pending→fired CAS and VTimer.Stop cancels with pending→cancelled, so
+// neither side needs the scheduler mutex and a Stop racing an
+// already-popped batch resolves to exactly one winner. fn is written
+// before the event is published (under the scheduler mutex) and nilled
+// by whichever CAS wins, releasing the closure without waiting for the
+// event's jiffy to pop.
 type event struct {
-	due int64 // virtual ns since the clock's origin
-	seq uint64
-	fn  func()
+	due   int64 // virtual ns since the clock's origin
+	seq   uint64
+	state atomic.Uint32
+	fn    func()
 }
+
+// event states.
+const (
+	evPending uint32 = iota
+	evFired
+	evCancelled
+)
 
 // Timer-index geometry. Virtual time is bucketed into jiffies of
 // 2^tickShift ns (~1ms); the near wheel covers the next wheelSlots

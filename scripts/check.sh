@@ -74,6 +74,16 @@ echo "==> fleet autoscale smoke (3x ramp + relay crash; capacity must follow dem
 go run ./cmd/benchharness -exp autoscale -autoscaleout /dev/null
 
 echo "==> event-core scale smoke (5k hosts, memory per host must stay under 10 KiB)"
-go run ./cmd/benchharness -exp scale -scaleout /dev/null -maxhostbytes 10240
+go run ./cmd/benchharness -exp scale -scaleout /dev/null -maxhostbytes 10240 -mineventspersec 8000
+
+echo "==> event-core scale gate (500k hosts through 3-hop circuits, <= 550 B/host)"
+# ~12 minutes on one core. CHECK_QUICK=1 skips it for inner-loop runs;
+# the full gate is the pre-merge bar.
+if [ "${CHECK_QUICK:-0}" = "1" ]; then
+    echo "(CHECK_QUICK=1; skipping the 500k gate)"
+else
+    go run ./cmd/benchharness -exp scale -scaleclients 500000 -scaleout /dev/null \
+        -maxhostbytes 550 -mineventspersec 12000
+fi
 
 echo "All checks passed."
